@@ -1,0 +1,175 @@
+(* Benchmark harness: one bechamel test per measured quantity in the
+   paper's evaluation, grouped per experiment (E1-E4) and per ablation
+   (A1, A3), followed by the simulation-based experiments (E5-E8, A2,
+   A4), so that `dune exec bench/main.exe` regenerates every number the
+   reproduction reports. *)
+
+open Bechamel
+open Toolkit
+
+let make_test name mk = Test.make ~name (Staged.stage (mk ()))
+
+(* E4 micro-ops: circuit construction and per-packet transit cost of the
+   onion baseline, against the neutralizer's forward transform. *)
+let onion_fixture () =
+  let st = Random.State.make [| 0xbe |] in
+  let relays =
+    List.init 3 (fun i ->
+        Baseline.Onion.create_relay ~key:(Scenario.Keyring.e2e (10 + i)) ~id:i
+          st)
+  in
+  let drbg = Crypto.Drbg.create ~seed:"bench-onion" in
+  let rng n = Crypto.Drbg.generate drbg n in
+  (relays, rng)
+
+let onion_build_op () =
+  let relays, rng = onion_fixture () in
+  fun () ->
+    let c = Baseline.Onion.build_circuit ~rng ~path:relays in
+    Baseline.Onion.teardown c
+
+let onion_transit_op () =
+  let relays, rng = onion_fixture () in
+  let c = Baseline.Onion.build_circuit ~rng ~path:relays in
+  let payload = String.make 64 'p' in
+  fun () ->
+    match Baseline.Onion.transit c payload with
+    | Some _ -> ()
+    | None -> failwith "bench: onion transit failed"
+
+let a1_e65537_op () =
+  let master = Core.Master_key.of_seed ~seed:"bench-a1" in
+  let drbg = Crypto.Drbg.create ~seed:"bench-a1" in
+  let rng n = Crypto.Drbg.generate drbg n in
+  let key =
+    Crypto.Rsa.generate ~e:65537 ~bits:512 (Random.State.make [| 0x10001 |])
+  in
+  let blob = Crypto.Rsa.public_to_string key.Crypto.Rsa.public in
+  let src = Net.Ipaddr.of_string "10.1.0.2" in
+  fun () ->
+    match
+      Core.Datapath.key_setup_response ~master ~rng ~src ~pubkey_blob:blob
+    with
+    | Some _ -> ()
+    | None -> failwith "bench: key setup rejected"
+
+let a3_ops () =
+  let master = Core.Master_key.of_seed ~seed:"bench-a3" in
+  let drbg = Crypto.Drbg.create ~seed:"bench-a3" in
+  let rng n = Crypto.Drbg.generate drbg n in
+  let src = Net.Ipaddr.of_string "10.1.0.2" in
+  let customer = Net.Ipaddr.of_string "10.2.0.3" in
+  let nonce = rng Core.Protocol.nonce_len in
+  let epoch, ks = Core.Master_key.derive_current master ~nonce ~src in
+  let enc_addr, tag = Core.Datapath.blind ~ks ~epoch ~nonce customer in
+  let stateless () =
+    match Core.Master_key.derive master ~epoch ~nonce ~src with
+    | None -> failwith "bench: epoch"
+    | Some ks ->
+      (match Core.Datapath.unblind ~ks ~epoch ~nonce ~enc_addr ~tag with
+       | Some _ -> ()
+       | None -> failwith "bench: tag")
+  in
+  let aes = Core.Datapath.expand ~ks in
+  let cached () =
+    match
+      Core.Datapath.unblind_with_schedule ~aes ~epoch ~nonce ~enc_addr ~tag
+    with
+    | Some _ -> ()
+    | None -> failwith "bench: tag"
+  in
+  (stateless, cached)
+
+let groups () =
+  let a3_stateless, a3_cached = a3_ops () in
+  [ ( "E1-key-setup",
+      [ make_test "key-setup-response(rsa512,e=3)"
+          Experiments.E1_key_setup.processing_op
+      ] );
+    ( "E2-data-path",
+      [ make_test "neutralizer-forward" Experiments.E2_data_path.forward_op;
+        make_test "neutralizer-return" Experiments.E2_data_path.return_op;
+        make_test "vanilla-forward" Experiments.E2_data_path.vanilla_op
+      ] );
+    ( "E3-crypto-ops",
+      List.map
+        (fun (name, mk) -> make_test name mk)
+        Experiments.E3_crypto_ops.ops );
+    ( "E4-vs-onion",
+      [ make_test "onion-circuit-build(3hop)" onion_build_op;
+        make_test "onion-transit(3hop,64B)" onion_transit_op;
+        make_test "neutralizer-forward(64B)"
+          Experiments.E2_data_path.forward_op
+      ] );
+    ( "A1-exponent",
+      [ make_test "key-setup(e=3)" Experiments.E1_key_setup.processing_op;
+        make_test "key-setup(e=65537)" a1_e65537_op
+      ] );
+    ( "A3-statelessness",
+      [ make_test "unblind-stateless" (fun () -> a3_stateless);
+        make_test "unblind-cached-schedule" (fun () -> a3_cached)
+      ] )
+  ]
+
+let run_group ~quota (gname, tests) =
+  let grouped = Test.make_grouped ~name:gname tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  Experiments.Table.print ~title:("bench group " ^ gname)
+    ~header:[ "test"; "ns/op"; "ops/s"; "r^2" ]
+    (List.map
+       (fun (name, ns, r2) ->
+         [ name;
+           Printf.sprintf "%.0f" ns;
+           Experiments.Table.kops (1e9 /. ns);
+           Printf.sprintf "%.4f" r2
+         ])
+       rows)
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  print_endline
+    "Benchmark harness for 'A Technical Approach to Net Neutrality'";
+  print_endline
+    "(micro groups via bechamel; simulation experiments follow)";
+  let quota = if quick then 0.2 else 0.5 in
+  List.iter (run_group ~quota) (groups ());
+  (* Wall-clock experiment tables (paper-vs-measured). *)
+  let mt = if quick then 0.15 else 0.4 in
+  Experiments.E1_key_setup.(print (run ~min_time:mt ()));
+  Experiments.E2_data_path.(print (run ~min_time:mt ()));
+  Experiments.E3_crypto_ops.(print (run ~min_time:mt ()));
+  Experiments.E4_vs_onion.(print (run ()));
+  (* Simulation-based experiments. *)
+  Experiments.E5_voip.(
+    print (run ~duration_s:(if quick then 3.0 else 10.0) ()));
+  Experiments.E6_dos.(
+    print
+      (if quick then run ~duration_s:1.5 ~attack_pps:20_000 () else run ()));
+  Experiments.E7_multihome.(
+    print (run ~packets:(if quick then 150 else 400) ()));
+  Experiments.E8_market.(print (run ()));
+  Experiments.E9_traffic_analysis.(
+    print (run ~duration_s:(if quick then 4.0 else 8.0) ()));
+  Experiments.E10_detection.(
+    print (run ~duration_s:(if quick then 3.0 else 5.0) ()));
+  Experiments.E11_blunt_instruments.(
+    print (run ~duration_s:(if quick then 4.0 else 8.0) ()));
+  Experiments.Ablations.(print (run ~min_time:mt ()))

@@ -1,0 +1,91 @@
+(* Building a world from raw library API — no Scenario helper.
+
+   A two-ISP internet: "homenet" (where the user Pat lives, and which
+   throttles encrypted traffic it can't read) and "openisp" (which runs a
+   neutralizer). One site, one resolver, one box. This is the template to
+   copy when you want a topology the canned Figure-1 world doesn't cover.
+
+   Run with: dune exec examples/build_your_own.exe *)
+
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+
+let () =
+  (* --- 1. topology ------------------------------------------------ *)
+  let topo = Net.Topology.create () in
+  let homenet = Net.Topology.add_domain topo ~name:"homenet" ~prefix:"192.168.0.0/16" in
+  let openisp = Net.Topology.add_domain topo ~name:"openisp" ~prefix:"10.9.0.0/16" in
+  let node d kind name = Net.Topology.add_node topo ~domain:d ~kind ~name in
+  let pat = node homenet Host "pat" in
+  let home_r = node homenet Router "home-r" in
+  let open_box = node openisp Neutralizer_box "open-box" in
+  let open_r = node openisp Router "open-r" in
+  let site = node openisp Host "the-site" in
+  let resolver = node openisp Host "resolver" in
+  let link = Net.Topology.add_link topo in
+  link pat.nid home_r.nid ~bandwidth_bps:50_000_000 ~latency:(ms 2) ();
+  link home_r.nid open_box.nid ~bandwidth_bps:1_000_000_000 ~latency:(ms 8)
+    ~rel:Net.Topology.Peer ();
+  link open_box.nid open_r.nid ~bandwidth_bps:10_000_000_000 ~latency:(ms 1) ();
+  link open_r.nid site.nid ~bandwidth_bps:1_000_000_000 ~latency:(ms 1) ();
+  link open_r.nid resolver.nid ~bandwidth_bps:1_000_000_000 ~latency:(ms 1) ();
+  let anycast = Net.Ipaddr.of_string "10.9.255.1" in
+  Net.Topology.register_anycast topo anycast [ open_box.nid ];
+
+  (* --- 2. runtime network + the adversary ------------------------- *)
+  let engine = Net.Engine.create () in
+  let net = Net.Network.create engine topo in
+  let capture = Net.Trace.create () in
+  Net.Network.add_tap net homenet (Net.Trace.tap capture);
+
+  (* --- 3. the neutralizer box ------------------------------------- *)
+  let master = Core.Master_key.of_seed ~seed:"openisp-km" in
+  let box_drbg = Crypto.Drbg.create ~seed:"open-box" in
+  let _box =
+    Core.Neutralizer.attach net open_box
+      (Core.Neutralizer.default_config ~anycast ~master
+         ~rng:(fun n -> Crypto.Drbg.generate box_drbg n))
+  in
+
+  (* --- 4. DNS + the site ------------------------------------------ *)
+  let site_key = Scenario.Keyring.e2e 1 in
+  let resolver_key = Scenario.Keyring.e2e 0 in
+  let zone = Dns.Zone.create () in
+  Dns.Zone.publish_site zone ~name:"the-site.example" ~addr:site.addr
+    ~neutralizers:[ anycast ] ~key:site_key.Crypto.Rsa.public;
+  let resolver_host = Net.Host.attach net resolver in
+  let rd = Crypto.Drbg.create ~seed:"resolver" in
+  let (_ : Dns.Resolver.server) =
+    Dns.Resolver.serve resolver_host ~zone ~decryption_key:resolver_key
+      ~rng:(fun n -> Crypto.Drbg.generate rd n)
+      ()
+  in
+  let site_host = Net.Host.attach net site in
+  let server =
+    Core.Server.create site_host ~private_key:site_key ~neutralizer:anycast
+      ~seed:"the-site" ()
+  in
+  Core.Server.set_responder server (fun srv ~peer payload ->
+      Core.Server.reply srv ~session:peer ("you said: " ^ payload));
+
+  (* --- 5. Pat's client -------------------------------------------- *)
+  let pat_host = Net.Host.attach net pat in
+  let cfg_drbg = Crypto.Drbg.create ~seed:"pat-cfg" in
+  let config =
+    { (Core.Client.default_config
+         ~rng:(fun n -> Crypto.Drbg.generate cfg_drbg n))
+      with
+      Core.Client.dns_server = Some resolver.addr;
+      dns_encrypt = Some resolver_key.Crypto.Rsa.public;
+      onetime_keygen = Scenario.Keyring.onetime_pool ()
+    }
+  in
+  let client = Core.Client.create pat_host ~config ~seed:"pat" () in
+  Core.Client.set_receiver client (fun ~peer msg ->
+      Printf.printf "pat <- %s: %S\n" (Net.Ipaddr.to_string peer) msg);
+
+  (* --- 6. go ------------------------------------------------------- *)
+  Core.Client.send_to_name client ~name:"the-site.example" "hello from a custom world";
+  Net.Network.run net;
+  Printf.printf "homenet observed %d packets; leaks of the site's address: %d\n"
+    (Net.Trace.length capture)
+    (Scenario.World.observed_address_leaks capture site.addr)

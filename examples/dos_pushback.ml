@@ -1,0 +1,118 @@
+(* §3.6: a botnet floods the neutralizer's key-setup path — the one place
+   the box does public-key work — while Ann holds an ordinary neutralized
+   exchange with Google. Pushback identifies the flooding aggregates,
+   rate-limits them at Cogent's edge and pushes the limits upstream.
+
+   Run with: dune exec examples/dos_pushback.exe *)
+
+let run ~with_pushback =
+  let costs =
+    (* model paper-class hardware: ~25k key setups/s *)
+    { Core.Protocol.default_costs with Core.Protocol.key_setup = 40_000L }
+  in
+  let world = Scenario.World.create ~costs () in
+  let topo = world.Scenario.World.topo in
+  let net = world.Scenario.World.net in
+  let engine = world.Scenario.World.engine in
+
+  (* the botnet ISP peers with AT&T *)
+  let botnet = Net.Topology.add_domain topo ~name:"botnet" ~prefix:"10.6.0.0/16" in
+  let bot_router =
+    Net.Topology.add_node topo ~domain:botnet ~kind:Net.Topology.Router ~name:"bot-r"
+  in
+  Net.Topology.add_link topo bot_router.nid world.Scenario.World.att_router.nid
+    ~bandwidth_bps:1_000_000_000 ~latency:2_000_000L ~rel:Net.Topology.Peer ();
+  let bots =
+    List.init 10 (fun i ->
+        let n =
+          Net.Topology.add_node topo ~domain:botnet ~kind:Net.Topology.Host
+            ~name:(Printf.sprintf "bot-%d" i)
+        in
+        Net.Topology.add_link topo n.nid bot_router.nid
+          ~bandwidth_bps:100_000_000 ~latency:1_000_000L ();
+        Net.Host.attach net n)
+  in
+  Net.Network.recompute_routes net;
+
+  let controller =
+    Pushback.Controller.create engine
+      { Pushback.Controller.window = 200_000_000L;
+        threshold_pps = 500.0;
+        limit_pps = 50.0;
+        release_after = 5_000_000_000L
+      }
+  in
+  if with_pushback then begin
+    Net.Network.add_middleware net world.Scenario.World.cogent
+      (Pushback.Controller.middleware controller);
+    (* the pushback step: enforce upstream, toward the sources *)
+    Pushback.Controller.propagate controller net world.Scenario.World.att;
+    Pushback.Controller.propagate controller net botnet
+  end;
+
+  (* Ann's normal life: a request every 20 ms for 3 seconds *)
+  let client =
+    Scenario.World.make_client world world.Scenario.World.ann_host
+      ~seed:"dos-example" ()
+  in
+  let latencies = ref [] in
+  let google = Scenario.World.site world "google" in
+  Core.Server.set_responder google.Scenario.World.server (fun srv ~peer payload ->
+      Core.Server.reply srv ~session:peer ~flow_id:2 ("re:" ^ payload));
+  Net.Host.on_deliver world.Scenario.World.ann_host (fun p ->
+      if p.Net.Packet.meta.flow_id = 2 then
+        latencies :=
+          Int64.to_float (Int64.sub (Net.Engine.now engine) p.meta.sent_at)
+          *. 1e-6
+          :: !latencies);
+  for i = 0 to 149 do
+    ignore
+      (Net.Engine.schedule_s engine
+         ~delay_s:(0.02 *. float_of_int i)
+         (fun () ->
+           Core.Client.send_to_name client ~name:"google.example" ~flow_id:1
+             (Printf.sprintf "req-%d" i)))
+  done;
+
+  (* the flood: 50k valid key-setup requests per second from t=0.5s *)
+  let pubkey =
+    Crypto.Rsa.public_to_string (Scenario.Keyring.onetime 0).Crypto.Rsa.public
+  in
+  let shim = Core.Shim.encode (Core.Shim.Key_setup_request { pubkey }) in
+  List.iteri
+    (fun bi bot ->
+      for i = 0 to 12_499 do
+        ignore
+          (Net.Engine.schedule_s engine
+             ~delay_s:(0.5 +. (0.0002 *. float_of_int i) +. (0.00002 *. float_of_int bi))
+             (fun () ->
+               Net.Host.send bot
+                 (Net.Packet.make ~protocol:Net.Packet.Shim ~shim
+                    ~src:(Net.Host.addr bot) ~dst:world.Scenario.World.anycast
+                    ~app:"flood" "")))
+      done)
+    bots;
+
+  Scenario.World.run world;
+  let n = List.length !latencies in
+  let mean = List.fold_left ( +. ) 0.0 !latencies /. float_of_int (max 1 n) in
+  let box_rsa =
+    List.fold_left
+      (fun a b -> a + (Core.Neutralizer.counters b).key_setups)
+      0 world.Scenario.World.boxes
+  in
+  Printf.printf
+    "%-18s ann replies %3d/150, mean latency %7.1f ms | box RSA ops %6d | flood packets dropped by pushback %d\n"
+    (if with_pushback then "WITH pushback:" else "no defense:")
+    n mean box_rsa
+    (Pushback.Controller.limited controller)
+
+let () =
+  print_endline
+    "10 bots flood 50,000 key-setup requests/s at Cogent's neutralizer\n\
+     (capacity ~25,000 RSA ops/s) while Ann talks to Google:\n";
+  run ~with_pushback:false;
+  run ~with_pushback:true;
+  print_endline
+    "\nPushback arms on the flooding /24 aggregates' key-setup class only;\n\
+     Ann's data packets are a different class and sail through."

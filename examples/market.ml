@@ -1,0 +1,42 @@
+(* §1 as an agent-based model: does the market punish an access ISP that
+   targets an innovator? That degrades everyone? And what changes once
+   the neutralizer removes the targeting lever?
+
+   Run with: dune exec examples/market.exe *)
+
+let pct x = Printf.sprintf "%5.1f%%" (100.0 *. x)
+
+let show label policy neutralized =
+  let stats =
+    Discrimination.Market.run ~neutralized Discrimination.Market.default_params
+      policy
+  in
+  let f = Discrimination.Market.final stats in
+  Printf.printf "%-36s ISP-0 share %s   Vonage users %s   own-VoIP %s\n" label
+    (pct f.discriminator_share) (pct f.innovator_users) (pct f.own_voip_users)
+
+let () =
+  print_endline
+    "10,000 subscribers, 2 access ISPs, 36 months; ISP 0 discriminates.\n";
+  show "no discrimination" Discrimination.Market.No_discrimination false;
+  show "target Vonage (plain)" Discrimination.Market.Degrade_innovator false;
+  show "target Vonage (neutralized)" Discrimination.Market.Degrade_innovator true;
+  show "degrade all customers (plain)" Discrimination.Market.Degrade_everything false;
+  show "degrade all customers (neutralized)" Discrimination.Market.Degrade_everything true;
+  print_endline "";
+  print_endline "Month-by-month collapse of the innovator under targeting:";
+  let timeline =
+    Discrimination.Market.run Discrimination.Market.default_params
+      Discrimination.Market.Degrade_innovator
+  in
+  List.iter
+    (fun (s : Discrimination.Market.round_stats) ->
+      if s.round mod 4 = 0 then
+        Printf.printf "  month %2d: ISP-0 share %s, Vonage users %s\n" s.round
+          (pct s.discriminator_share) (pct s.innovator_users))
+    timeline;
+  print_endline
+    "\nThe paper's hypothesis, reproduced: targeting the innovator costs\n\
+     the ISP almost nothing (inertia) while the innovator dies; only\n\
+     wholesale degradation triggers switching. With the neutralizer, the\n\
+     targeting lever is gone and the innovator survives unregulated."

@@ -1,0 +1,23 @@
+(* §3.5: a dual-homed site publishes one NEUT record per provider, and
+   the traffic split across providers is decided by how sources pick
+   neutralizers — here: strategy comparison plus the trial-and-error
+   failover when one provider's box dies mid-run.
+
+   This example reuses the E7 experiment harness, which is itself plain
+   library code; see lib/experiments/e7_multihome.ml.
+
+   Run with: dune exec examples/multihomed.exe *)
+
+let () =
+  print_endline
+    "dual.example is connected to Cogent (anycast 10.2.255.1) and\n\
+     Level3 (anycast 10.5.255.1). Ann sends 400 requests under four\n\
+     client selection strategies; in the last one the Level3 box dies\n\
+     after one second.\n";
+  let result = Experiments.E7_multihome.run ~packets:400 () in
+  Experiments.E7_multihome.print result;
+  print_endline
+    "\nReading the table: the weighted strategy steers ~80/20 toward\n\
+     Cogent; after the Level3 box dies, unanswered traffic trips the\n\
+     client's blackhole detector, the address is marked failed, and the\n\
+     flow re-homes through Cogent without any help from the site."

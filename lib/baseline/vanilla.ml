@@ -1,0 +1,74 @@
+(* FIB as one sorted array per prefix length, longest length first. *)
+type fib = (int * (int * int) array) list
+(* (prefix_len, sorted [(network_int, next_hop)]) *)
+
+let mask len = if len = 0 then 0 else 0xffffffff lxor ((1 lsl (32 - len)) - 1)
+
+let fib_of_prefixes entries =
+  let by_len = Hashtbl.create 8 in
+  List.iter
+    (fun (p, hop) ->
+      let len = Net.Ipaddr.Prefix.length p in
+      let net = Net.Ipaddr.to_int (Net.Ipaddr.Prefix.network p) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_len len) in
+      Hashtbl.replace by_len len ((net, hop) :: cur))
+    entries;
+  Hashtbl.fold
+    (fun len l acc ->
+      let arr = Array.of_list l in
+      Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
+      (len, arr) :: acc)
+    by_len []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+
+let random_fib ~entries st =
+  let prefixes =
+    List.init entries (fun i ->
+        let len = 8 + Random.State.int st 17 in
+        let addr = Net.Ipaddr.of_int (Random.State.int st 0x3fffffff * 4) in
+        (Net.Ipaddr.Prefix.make addr len, i))
+  in
+  fib_of_prefixes ((Net.Ipaddr.Prefix.of_string "0.0.0.0/0", entries) :: prefixes)
+
+let bsearch arr target =
+  let rec go lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let k, v = arr.(mid) in
+      if k = target then Some v
+      else if k < target then go (mid + 1) hi
+      else go lo (mid - 1)
+    end
+  in
+  go 0 (Array.length arr - 1)
+
+let lookup fib addr =
+  let a = Net.Ipaddr.to_int addr in
+  let rec scan = function
+    | [] -> None
+    | (len, arr) :: rest ->
+      (match bsearch arr (a land mask len) with
+       | Some hop -> Some hop
+       | None -> scan rest)
+  in
+  scan fib
+
+let header_fold (p : Net.Packet.t) =
+  (* Fold the header fields the way a checksum update walks them. *)
+  let acc =
+    Net.Ipaddr.to_int p.src + Net.Ipaddr.to_int p.dst
+    + (Net.Packet.protocol_number p.protocol lsl 8)
+    + p.dscp + p.ttl + p.src_port + p.dst_port + Net.Packet.size p
+  in
+  (acc land 0xffff) + (acc lsr 16)
+
+let process fib (p : Net.Packet.t) =
+  match Net.Packet.decrement_ttl p with
+  | None -> None
+  | Some p ->
+    (match lookup fib p.dst with
+     | None -> None
+     | Some hop ->
+       let _csum = header_fold p in
+       Some (hop, p))

@@ -1,0 +1,484 @@
+(* Little-endian arrays of 26-bit limbs, canonical (no trailing zeros).
+   26-bit limbs keep every intermediate product below 2^53, far inside the
+   63-bit native [int], so no overflow checks are needed anywhere. *)
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let is_zero a = Array.length a = 0
+
+(* Strip trailing zero limbs to restore the canonical form. *)
+let norm a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n land mask) :: limbs (n lsr base_bits) in
+  Array.of_list (limbs n)
+
+let to_int a =
+  let l = Array.length a in
+  if l * base_bits >= Sys.int_size && l > 0 then begin
+    (* May overflow; recompute carefully. *)
+    let r = ref 0 in
+    for i = l - 1 downto 0 do
+      if !r > max_int lsr base_bits then failwith "Nat.to_int: overflow";
+      r := (!r lsl base_bits) lor a.(i)
+    done;
+    !r
+  end
+  else begin
+    let r = ref 0 in
+    for i = l - 1 downto 0 do
+      r := (!r lsl base_bits) lor a.(i)
+    done;
+    !r
+  end
+
+let equal (a : t) (b : t) = a = b
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r.(l) <- !carry;
+  norm r
+
+let sub a b =
+  let la = Array.length a and lb = Array.length b in
+  if lb > la then invalid_arg "Nat.sub: negative result";
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then invalid_arg "Nat.sub: negative result";
+  norm r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let t = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- t land mask;
+          carry := t lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let t = r.(!k) + !carry in
+          r.(!k) <- t land mask;
+          carry := t lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    norm r
+  end
+
+(* [mul_small a m]: [m] must satisfy [0 <= m < 2^30] so that a limb product
+   plus carry stays below 2^57. *)
+let mul_small a m =
+  if m = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let t = (a.(i) * m) + !carry in
+      r.(i) <- t land mask;
+      carry := t lsr base_bits
+    done;
+    r.(la) <- !carry land mask;
+    r.(la + 1) <- !carry lsr base_bits;
+    norm r
+  end
+
+let add_small a m = add a (of_int m)
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Nat.shift_left: negative shift";
+  let la = Array.length a in
+  if la = 0 || k = 0 then a
+  else begin
+    let ls = k / base_bits and bs = k mod base_bits in
+    let r = Array.make (la + ls + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bs in
+      r.(i + ls) <- r.(i + ls) lor (v land mask);
+      r.(i + ls + 1) <- r.(i + ls + 1) lor (v lsr base_bits)
+    done;
+    norm r
+  end
+
+let shift_right a k =
+  if k < 0 then invalid_arg "Nat.shift_right: negative shift";
+  let la = Array.length a in
+  let ls = k / base_bits and bs = k mod base_bits in
+  if ls >= la then zero
+  else begin
+    let l = la - ls in
+    let r = Array.make l 0 in
+    for i = 0 to l - 1 do
+      let lo = a.(i + ls) lsr bs in
+      let hi =
+        if bs > 0 && i + ls + 1 < la then
+          (a.(i + ls + 1) lsl (base_bits - bs)) land mask
+        else 0
+      in
+      r.(i) <- lo lor hi
+    done;
+    norm r
+  end
+
+let bits_of_limb v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bit_length a =
+  let la = Array.length a in
+  if la = 0 then 0 else ((la - 1) * base_bits) + bits_of_limb a.(la - 1)
+
+let testbit a i =
+  let li = i / base_bits and off = i mod base_bits in
+  li < Array.length a && (a.(li) lsr off) land 1 = 1
+
+let is_even a = not (testbit a 0)
+let is_odd a = testbit a 0
+let succ a = add a one
+let pred a = sub a one
+
+(* Short division by a single limb [d], [0 < d < base]. *)
+let divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (norm q, !r)
+
+let divmod a b =
+  let lb = Array.length b in
+  if lb = 0 then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if lb = 1 then begin
+    let q, r = divmod_small a b.(0) in
+    (q, if r = 0 then zero else [| r |])
+  end
+  else begin
+    (* Knuth TAOCP vol. 2, Algorithm D. *)
+    let d = base_bits - bits_of_limb b.(lb - 1) in
+    let v = shift_left b d in
+    let u0 = shift_left a d in
+    let n = Array.length v in
+    let m = Array.length u0 - n in
+    (* Working copy of the dividend with one extra high limb. *)
+    let u = Array.make (m + n + 1) 0 in
+    Array.blit u0 0 u 0 (Array.length u0);
+    let q = Array.make (m + 1) 0 in
+    for j = m downto 0 do
+      let top = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+      let qhat = ref (top / v.(n - 1)) and rhat = ref (top mod v.(n - 1)) in
+      let continue = ref true in
+      while !continue do
+        if
+          !qhat >= base
+          || !qhat * v.(n - 2) > (!rhat lsl base_bits) lor u.(j + n - 2)
+        then begin
+          decr qhat;
+          rhat := !rhat + v.(n - 1);
+          if !rhat >= base then continue := false
+        end
+        else continue := false
+      done;
+      (* Multiply-subtract [qhat * v] from [u] at offset [j]. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr base_bits;
+        let s = u.(j + i) - (p land mask) - !borrow in
+        if s < 0 then begin
+          u.(j + i) <- s + base;
+          borrow := 1
+        end
+        else begin
+          u.(j + i) <- s;
+          borrow := 0
+        end
+      done;
+      let s = u.(j + n) - !carry - !borrow in
+      if s < 0 then begin
+        (* qhat was one too large: add the divisor back. *)
+        u.(j + n) <- s + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let t = u.(j + i) + v.(i) + !c in
+          u.(j + i) <- t land mask;
+          c := t lsr base_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !c) land mask
+      end
+      else u.(j + n) <- s;
+      q.(j) <- !qhat
+    done;
+    let r = norm (Array.sub u 0 n) in
+    (norm q, shift_right r d)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let of_bytes_be s =
+  let r = ref zero in
+  String.iter (fun c -> r := add_small (mul_small !r 256) (Char.code c)) s;
+  !r
+
+let byte_at a i =
+  let bit = 8 * i in
+  let li = bit / base_bits and off = bit mod base_bits in
+  let la = Array.length a in
+  let lo = if li < la then a.(li) lsr off else 0 in
+  let hi =
+    if off > base_bits - 8 && li + 1 < la then
+      a.(li + 1) lsl (base_bits - off)
+    else 0
+  in
+  (lo lor hi) land 0xff
+
+let to_bytes_be ?len a =
+  let needed = (bit_length a + 7) / 8 in
+  let len =
+    match len with
+    | None -> needed
+    | Some l ->
+      if l < needed then invalid_arg "Nat.to_bytes_be: value too large";
+      l
+  in
+  String.init len (fun i -> Char.chr (byte_at a (len - 1 - i)))
+
+let of_hex s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Nat.of_hex: bad character"
+  in
+  let r = ref zero in
+  String.iter (fun c -> r := add_small (mul_small !r 16) (digit c)) s;
+  !r
+
+let to_hex a =
+  if is_zero a then "0"
+  else begin
+    let nibbles = (bit_length a + 3) / 4 in
+    let hexdig = "0123456789abcdef" in
+    String.init nibbles (fun i ->
+        let pos = nibbles - 1 - i in
+        let b = byte_at a (pos / 2) in
+        let v = if pos land 1 = 1 then b lsr 4 else b land 0xf in
+        hexdig.[v])
+  end
+
+let random ~bits state =
+  if bits < 0 then invalid_arg "Nat.random: negative bits";
+  if bits = 0 then zero
+  else begin
+    let limbs = (bits + base_bits - 1) / base_bits in
+    let r = Array.init limbs (fun _ -> Random.State.int state base) in
+    let top_bits = bits - ((limbs - 1) * base_bits) in
+    r.(limbs - 1) <- r.(limbs - 1) land ((1 lsl top_bits) - 1);
+    norm r
+  end
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    (* Peel 7 decimal digits at a time: 10^7 < 2^26. *)
+    let chunk = 10_000_000 in
+    let buf = Buffer.create 32 in
+    let rec go a acc =
+      if is_zero a then acc
+      else begin
+        let q, r = divmod_small a chunk in
+        go q (r :: acc)
+      end
+    in
+    match go a [] with
+    | [] -> "0"
+    | first :: rest ->
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun d -> Buffer.add_string buf (Printf.sprintf "%07d" d)) rest;
+      Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+module Montgomery = struct
+  (* CIOS (coarsely integrated operand scanning) over 26-bit limbs.
+     Invariant bounds: limb products are < 2^52 and every accumulator
+     below stays under 2^53, inside the 63-bit native int. *)
+  type ctx = {
+    m : int array; (* modulus limbs, length n *)
+    n : int;
+    m' : int; (* -m^{-1} mod 2^26 *)
+    r2 : int array; (* (2^26)^(2n) mod m, for entering the domain *)
+    m_nat : t;
+  }
+
+  let modulus ctx = ctx.m_nat
+
+  (* 2-adic inverse of an odd limb by Newton iteration: each step doubles
+     the number of correct low bits. *)
+  let inv_limb m0 =
+    let x = ref m0 in
+    (* m0 * m0 ≡ 1 (mod 8): 3 correct bits to start; 4 doublings > 26. *)
+    for _ = 1 to 4 do
+      x := !x * (2 - (m0 * !x)) land mask
+    done;
+    !x land mask
+
+  let create m_nat =
+    if is_even m_nat || compare m_nat (of_int 3) < 0 then None
+    else begin
+      let m = m_nat in
+      let n = Array.length m in
+      let m' = base - inv_limb m.(0) land mask in
+      let r2 = rem (shift_left one (2 * n * base_bits)) m_nat in
+      let pad a = Array.append a (Array.make (n - Array.length a) 0) in
+      Some { m; n; m' = m' land mask; r2 = pad r2; m_nat }
+    end
+
+  (* t := mont(a, b) = a * b * R^{-1} mod m, where a b are n-limb arrays.
+     Returns a fresh n-limb array (fully reduced). *)
+  let mont ctx a b =
+    let n = ctx.n and m = ctx.m in
+    let t = Array.make (n + 2) 0 in
+    for i = 0 to n - 1 do
+      let ai = a.(i) in
+      (* t += ai * b *)
+      let c = ref 0 in
+      for j = 0 to n - 1 do
+        let s = t.(j) + (ai * b.(j)) + !c in
+        t.(j) <- s land mask;
+        c := s lsr base_bits
+      done;
+      let s = t.(n) + !c in
+      t.(n) <- s land mask;
+      t.(n + 1) <- t.(n + 1) + (s lsr base_bits);
+      (* u makes t divisible by the base; shift down one limb *)
+      let u = t.(0) * ctx.m' land mask in
+      let s0 = t.(0) + (u * m.(0)) in
+      let c = ref (s0 lsr base_bits) in
+      for j = 1 to n - 1 do
+        let s = t.(j) + (u * m.(j)) + !c in
+        t.(j - 1) <- s land mask;
+        c := s lsr base_bits
+      done;
+      let s = t.(n) + !c in
+      t.(n - 1) <- s land mask;
+      t.(n) <- t.(n + 1) + (s lsr base_bits);
+      t.(n + 1) <- 0
+    done;
+    (* t may exceed m by a small multiple: subtract until reduced. *)
+    let ge_m () =
+      if t.(n) > 0 then true
+      else begin
+        let rec cmp i =
+          if i < 0 then true (* equal *)
+          else if t.(i) > m.(i) then true
+          else if t.(i) < m.(i) then false
+          else cmp (i - 1)
+        in
+        cmp (n - 1)
+      end
+    in
+    while ge_m () do
+      let borrow = ref 0 in
+      for j = 0 to n - 1 do
+        let d = t.(j) - m.(j) - !borrow in
+        if d < 0 then begin
+          t.(j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          t.(j) <- d;
+          borrow := 0
+        end
+      done;
+      t.(n) <- t.(n) - !borrow
+    done;
+    Array.sub t 0 n
+
+  let pad ctx a = Array.append a (Array.make (ctx.n - Array.length a) 0)
+
+  let to_mont ctx a =
+    let a = rem a ctx.m_nat in
+    mont ctx (pad ctx a) ctx.r2
+
+  let from_mont ctx a =
+    let one_limbs = Array.make ctx.n 0 in
+    one_limbs.(0) <- 1;
+    norm (mont ctx a one_limbs)
+
+  let mul_mod ctx a b =
+    (* mont(aR, b) = a*b mod m: one conversion in, none out. *)
+    norm (mont ctx (to_mont ctx a) (pad ctx (rem b ctx.m_nat)))
+
+  let pow_mod ctx b e =
+    let b = to_mont ctx b in
+    let acc = ref (to_mont ctx one) in
+    for i = bit_length e - 1 downto 0 do
+      acc := mont ctx !acc !acc;
+      if testbit e i then acc := mont ctx !acc b
+    done;
+    from_mont ctx !acc
+end

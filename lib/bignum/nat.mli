@@ -1,0 +1,105 @@
+(** Arbitrary-precision natural numbers.
+
+    Values are immutable. The representation is a little-endian array of
+    26-bit limbs with no trailing zero limbs, so every mathematical value
+    has exactly one representation and structural equality coincides with
+    numerical equality.
+
+    This module exists because the sealed build environment provides no
+    [zarith]; it implements exactly what the RSA substrate needs: ring
+    operations, Euclidean division (Knuth's Algorithm D), shifts, and
+    conversions to and from big-endian octet strings. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+(** [of_int n] converts a non-negative [int]. Raises [Invalid_argument] on
+    negative input. *)
+val of_int : int -> t
+
+(** [to_int n] converts back to [int]. Raises [Failure] if the value does
+    not fit in an OCaml [int]. *)
+val to_int : t -> int
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+(** Total order; [compare a b] is negative, zero, or positive as [a] is
+    less than, equal to, or greater than [b]. *)
+val compare : t -> t -> int
+
+val add : t -> t -> t
+
+(** [sub a b] is [a - b]. Raises [Invalid_argument] if [b > a]. *)
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+(** [divmod a b] is [(a / b, a mod b)]. Raises [Division_by_zero] if [b]
+    is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [shift_left n k] is [n * 2^k]; [k >= 0]. *)
+val shift_left : t -> int -> t
+
+(** [shift_right n k] is [n / 2^k]; [k >= 0]. *)
+val shift_right : t -> int -> t
+
+(** [bit_length n] is the position of the highest set bit plus one;
+    [bit_length zero = 0]. *)
+val bit_length : t -> int
+
+(** [testbit n i] is the value of bit [i] (bit 0 is least significant). *)
+val testbit : t -> int -> bool
+
+val is_even : t -> bool
+val is_odd : t -> bool
+
+val succ : t -> t
+val pred : t -> t
+
+(** [of_bytes_be s] interprets [s] as a big-endian unsigned integer. *)
+val of_bytes_be : string -> t
+
+(** [to_bytes_be ?len n] is the big-endian encoding of [n]. With [~len]
+    the result is left-padded with zero octets to exactly [len] bytes;
+    raises [Invalid_argument] if [n] needs more than [len] bytes. Without
+    [~len] the encoding is minimal ([""] for zero). *)
+val to_bytes_be : ?len:int -> t -> string
+
+(** [of_hex s] parses a hexadecimal string (no [0x] prefix, case
+    insensitive). Raises [Invalid_argument] on bad characters. *)
+val of_hex : string -> t
+
+val to_hex : t -> string
+
+(** [random ~bits state] draws a uniform value in [[0, 2^bits)]. *)
+val random : bits:int -> Random.State.t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Montgomery-form modular exponentiation for odd moduli — the engine
+    under RSA. Replaces the per-step Euclidean division of the generic
+    square-and-multiply with CIOS Montgomery multiplications. *)
+module Montgomery : sig
+  type ctx
+
+  val create : t -> ctx option
+  (** [None] when the modulus is even or < 3. *)
+
+  val modulus : ctx -> t
+
+  val mul_mod : ctx -> t -> t -> t
+  (** [(a * b) mod m] through the Montgomery domain; inputs need not be
+      reduced. *)
+
+  val pow_mod : ctx -> t -> t -> t
+  (** [b^e mod m]. *)
+end

@@ -1,0 +1,46 @@
+type grant = { epoch : int; nonce : string; key : string; obtained_at : int64 }
+
+type t = {
+  current_tbl : (Net.Ipaddr.t, grant) Hashtbl.t;
+  by_nonce : (string, grant) Hashtbl.t;
+}
+
+let create () = { current_tbl = Hashtbl.create 8; by_nonce = Hashtbl.create 32 }
+
+let nonce_key ~neutralizer ~nonce = Net.Ipaddr.to_octets neutralizer ^ nonce
+
+let put t ~neutralizer g =
+  Hashtbl.replace t.current_tbl neutralizer g;
+  Hashtbl.replace t.by_nonce (nonce_key ~neutralizer ~nonce:g.nonce) g
+
+let current t ~neutralizer = Hashtbl.find_opt t.current_tbl neutralizer
+
+let find_nonce t ~neutralizer ~nonce =
+  Hashtbl.find_opt t.by_nonce (nonce_key ~neutralizer ~nonce)
+
+let invalidate t ~neutralizer = Hashtbl.remove t.current_tbl neutralizer
+
+let age t ~neutralizer ~now =
+  Option.map (fun g -> Int64.sub now g.obtained_at) (current t ~neutralizer)
+
+let drop_older_than t ~now ~max_age =
+  let stale =
+    Hashtbl.fold
+      (fun k g acc ->
+        if Int64.compare (Int64.sub now g.obtained_at) max_age > 0 then
+          k :: acc
+        else acc)
+      t.by_nonce []
+  in
+  List.iter (Hashtbl.remove t.by_nonce) stale;
+  let stale_cur =
+    Hashtbl.fold
+      (fun k g acc ->
+        if Int64.compare (Int64.sub now g.obtained_at) max_age > 0 then
+          k :: acc
+        else acc)
+      t.current_tbl []
+  in
+  List.iter (Hashtbl.remove t.current_tbl) stale_cur
+
+let grants t = Hashtbl.fold (fun k g acc -> (k, g) :: acc) t.current_tbl []

@@ -1,0 +1,52 @@
+type t = {
+  mutable epoch : int;
+  mutable current : Crypto.Cmac.key;
+  mutable previous : (int * Crypto.Cmac.key) option;
+  next_raw : unit -> string; (* raw key material for the next rotation *)
+}
+
+let of_raw raw = Crypto.Cmac.key raw
+
+let create ~rng () =
+  { epoch = 0; current = of_raw (rng 16); previous = None; next_raw = (fun () -> rng 16) }
+
+let of_seed ~seed =
+  let counter = ref 0 in
+  let km_for i =
+    of_raw (Crypto.Bytes_util.take 16 (Crypto.Sha256.digest (Printf.sprintf "%s/%d" seed i)))
+  in
+  { epoch = 0;
+    current = km_for 0;
+    previous = None;
+    next_raw =
+      (fun () ->
+        incr counter;
+        Crypto.Bytes_util.take 16
+          (Crypto.Sha256.digest (Printf.sprintf "%s/%d" seed !counter)))
+  }
+
+let current_epoch t = t.epoch
+
+let rotate t =
+  t.previous <- Some (t.epoch, t.current);
+  t.epoch <- (t.epoch + 1) land 0xff;
+  t.current <- of_raw (t.next_raw ())
+
+let key_for t epoch =
+  if epoch = t.epoch then Some t.current
+  else begin
+    match t.previous with
+    | Some (e, k) when e = epoch -> Some k
+    | Some _ | None -> None
+  end
+
+let derive_with km ~nonce ~src =
+  if String.length nonce <> Protocol.nonce_len then
+    invalid_arg "Master_key.derive: bad nonce length";
+  Crypto.Cmac.mac_parts km [ "ks-derive"; nonce; Net.Ipaddr.to_octets src ]
+
+let derive t ~epoch ~nonce ~src =
+  Option.map (fun km -> derive_with km ~nonce ~src) (key_for t epoch)
+
+let derive_current t ~nonce ~src =
+  (t.epoch, derive_with t.current ~nonce ~src)

@@ -1,0 +1,33 @@
+(** The neutralizer's master key [K_M] and its rotation.
+
+    All per-source symmetric keys derive from it:
+    [Ks = CMAC(K_M, nonce || outside-party IP)] — the stateless keyed hash
+    of §3.2. Every neutralizer replica of a domain shares the same [t]
+    (or a copy created with the same seed), which yields the paper's
+    fault-tolerance property: any box can decrypt and forward.
+
+    Rotation keeps one previous epoch alive so that in-flight packets
+    survive a key change; sources learn the fresh epoch on their next key
+    setup or refresh. *)
+
+type t
+
+val create : rng:(int -> string) -> unit -> t
+(** Epoch 0, a fresh random 16-byte master key. *)
+
+val of_seed : seed:string -> t
+(** Deterministic master key for replica sharing in tests: two calls with
+    the same seed derive identical keys for every epoch. *)
+
+val current_epoch : t -> int
+
+val rotate : t -> unit
+(** Advance to the next epoch; the previous epoch's key remains valid
+    until the next rotation. Epochs wrap at 256 (one byte on the wire). *)
+
+val derive : t -> epoch:int -> nonce:string -> src:Net.Ipaddr.t -> string option
+(** [Ks] for the triple, 16 bytes; [None] when [epoch] is neither current
+    nor previous (expired or never existed). *)
+
+val derive_current : t -> nonce:string -> src:Net.Ipaddr.t -> int * string
+(** Derivation at the current epoch: [(epoch, Ks)]. *)

@@ -1,0 +1,70 @@
+type strategy =
+  | First
+  | Round_robin
+  | Weighted of (Net.Ipaddr.t * float) list
+  | Prefer of Net.Ipaddr.t
+
+type t = {
+  strategy : strategy;
+  rng : int -> string;
+  mutable counter : int;
+  failed : (Net.Ipaddr.t, int64) Hashtbl.t; (* address -> backoff expiry *)
+}
+
+let backoff = 30_000_000_000L
+
+let create ?(strategy = Round_robin) ~rng () =
+  { strategy; rng; counter = 0; failed = Hashtbl.create 4 }
+
+let mark_failed t addr ~now =
+  Hashtbl.replace t.failed addr (Int64.add now backoff)
+
+let clear_failures t = Hashtbl.reset t.failed
+
+let failures t = Hashtbl.fold (fun a _ acc -> a :: acc) t.failed []
+
+let usable t ~now addr =
+  match Hashtbl.find_opt t.failed addr with
+  | None -> true
+  | Some until -> Int64.compare now until >= 0
+
+let random_unit t =
+  (* 24 random bits -> [0, 1). *)
+  let s = t.rng 3 in
+  float_of_int
+    ((Char.code s.[0] lsl 16) lor (Char.code s.[1] lsl 8) lor Char.code s.[2])
+  /. 16777216.0
+
+let choose t ~now addrs =
+  let live = List.filter (usable t ~now) addrs in
+  let pool = if live = [] then addrs else live in
+  match pool with
+  | [] -> None
+  | [ a ] -> Some a
+  | pool ->
+    (match t.strategy with
+     | First -> Some (List.hd pool)
+     | Round_robin ->
+       let i = t.counter mod List.length pool in
+       t.counter <- t.counter + 1;
+       Some (List.nth pool i)
+     | Prefer a -> if List.mem a pool then Some a else Some (List.hd pool)
+     | Weighted weights ->
+       let weighted =
+         List.filter_map
+           (fun a ->
+             List.assoc_opt a weights |> Option.map (fun w -> (a, Float.max 0.0 w)))
+           pool
+       in
+       let weighted = if weighted = [] then List.map (fun a -> (a, 1.0)) pool else weighted in
+       let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+       if total <= 0.0 then Some (fst (List.hd weighted))
+       else begin
+         let x = random_unit t *. total in
+         let rec pick acc = function
+           | [] -> fst (List.hd weighted)
+           | (a, w) :: rest ->
+             if x < acc +. w then a else pick (acc +. w) rest
+         in
+         Some (pick 0.0 weighted)
+       end)

@@ -1,0 +1,36 @@
+(** Choosing among a multi-homed site's neutralizers (§3.5).
+
+    A site connected to several providers publishes one NEUT record per
+    provider; "the ISP-level path of the site's incoming and outgoing
+    traffic is then controlled by how other sources pick the
+    neutralizers." The paper points at IPv6 source-address-selection-style
+    balancing and trial-and-error; these are those strategies. *)
+
+type strategy =
+  | First  (** deterministic: always the first published address *)
+  | Round_robin  (** rotate per selection *)
+  | Weighted of (Net.Ipaddr.t * float) list
+      (** traffic-engineering weights, e.g. 80/20 across providers *)
+  | Prefer of Net.Ipaddr.t
+      (** pin one provider, fall back to the rest on failure *)
+
+type t
+
+val create : ?strategy:strategy -> rng:(int -> string) -> unit -> t
+(** Default strategy is [Round_robin]. *)
+
+val choose : t -> now:int64 -> Net.Ipaddr.t list -> Net.Ipaddr.t option
+(** Pick from the published NEUT addresses, skipping addresses whose
+    failure backoff has not expired at [now]. Falls back to the full list
+    when every address is marked failed. [None] only on an empty list. *)
+
+val mark_failed : t -> Net.Ipaddr.t -> now:int64 -> unit
+(** Trial-and-error: a key setup through this neutralizer timed out;
+    avoid it for the backoff period. *)
+
+val clear_failures : t -> unit
+
+val backoff : int64
+(** How long a failed neutralizer is avoided (30 simulated seconds). *)
+
+val failures : t -> Net.Ipaddr.t list

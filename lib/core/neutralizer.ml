@@ -1,0 +1,250 @@
+type config = {
+  anycast : Net.Ipaddr.t;
+  master : Master_key.t;
+  rng : int -> string;
+  costs : Protocol.costs;
+  offload_helper : Net.Ipaddr.t option;
+  qos_max_lease : int64;
+}
+
+let default_config ~anycast ~master ~rng =
+  { anycast;
+    master;
+    rng;
+    costs = Protocol.default_costs;
+    offload_helper = None;
+    qos_max_lease = 600_000_000_000L
+  }
+
+type counters = {
+  mutable key_setups : int;
+  mutable data_forwarded : int;
+  mutable data_returned : int;
+  mutable reverse_grants : int;
+  mutable qos_grants : int;
+  mutable qos_natted : int;
+  mutable offloaded : int;
+  mutable rejected : int;
+  mutable rejected_bad_tag : int;
+  mutable rejected_epoch : int;
+}
+
+type qos_entry = { customer : Net.Ipaddr.t; expires : int64 }
+
+type t = {
+  net : Net.Network.t;
+  node : Net.Topology.node;
+  config : config;
+  ctrs : counters;
+  qos : (Net.Ipaddr.t, qos_entry) Hashtbl.t;
+  mutable customers : Net.Ipaddr.Prefix.t list;
+      (* customer attachments outside the domain prefix (multi-homing) *)
+}
+
+let counters t = t.ctrs
+let node t = t.node
+let add_customer t prefix = t.customers <- prefix :: t.customers
+
+let qos_mappings t =
+  Hashtbl.fold (fun dyn e acc -> (dyn, e.customer) :: acc) t.qos []
+
+let reject t reason =
+  t.ctrs.rejected <- t.ctrs.rejected + 1;
+  match reason with
+  | "bad-tag" -> t.ctrs.rejected_bad_tag <- t.ctrs.rejected_bad_tag + 1
+  | "unknown-epoch" -> t.ctrs.rejected_epoch <- t.ctrs.rejected_epoch + 1
+  | _ -> ()
+
+let send t p = Net.Network.send t.net ~from:t.node.Net.Topology.nid p
+
+let engine t = Net.Network.engine t.net
+
+let in_own_domain t addr =
+  Net.Topology.in_domain (Net.Network.topology t.net) addr
+    t.node.Net.Topology.domain
+  || List.exists (Net.Ipaddr.Prefix.mem addr) t.customers
+
+(* Key setup (§3.2): one RSA encryption, stateless. *)
+let handle_key_setup t (p : Net.Packet.t) pubkey =
+  Net.Network.service t.net t.node.Net.Topology.nid
+    ~cost:t.config.costs.key_setup (fun () ->
+      match t.config.offload_helper with
+      | Some helper ->
+        (* Stamp the grant and let a willing customer do the RSA work. *)
+        let epoch, nonce, key =
+          Datapath.fresh_grant ~master:t.config.master ~rng:t.config.rng
+            ~src:p.src
+        in
+        t.ctrs.offloaded <- t.ctrs.offloaded + 1;
+        let shim =
+          Shim.encode
+            (Shim.Offload { pubkey; epoch; nonce; key; requester = p.src })
+        in
+        send t
+          (Net.Packet.make ~protocol:Net.Packet.Shim ~shim
+             ~src:t.config.anycast ~dst:helper
+             ~sent_at:(Net.Engine.now (engine t))
+             ~app:"neutralizer" "")
+      | None ->
+        (match
+           Datapath.key_setup_response ~master:t.config.master
+             ~rng:t.config.rng ~src:p.src ~pubkey_blob:pubkey
+         with
+         | None -> reject t "bad-pubkey"
+         | Some (shim, _grant) ->
+           t.ctrs.key_setups <- t.ctrs.key_setups + 1;
+           send t
+             (Net.Packet.make ~protocol:Net.Packet.Shim ~shim
+                ~src:t.config.anycast ~dst:p.src ~dscp:p.dscp
+                ~sent_at:(Net.Engine.now (engine t))
+                ~app:"neutralizer" "")))
+
+let handle_outside_data t (p : Net.Packet.t) (d : Shim.data) =
+  Net.Network.service t.net t.node.Net.Topology.nid
+    ~cost:t.config.costs.data_forward (fun () ->
+      match
+        Datapath.forward_outside_data ~master:t.config.master
+          ~rng:t.config.rng ~self:t.config.anycast p d
+      with
+      | Datapath.Rejected reason ->
+        reject t reason;
+        (* A grant from a retired epoch is a routine consequence of
+           master-key rotation, not an attack: tell the source to re-key
+           so it does not keep shouting into the void. *)
+        if reason = "unknown-epoch" then begin
+          let shim =
+            Shim.encode
+              (Shim.Stale_grant
+                 { current_epoch = Master_key.current_epoch t.config.master })
+          in
+          send t
+            (Net.Packet.make ~protocol:Net.Packet.Shim ~shim
+               ~src:t.config.anycast ~dst:p.src
+               ~sent_at:(Net.Engine.now (engine t))
+               ~app:"neutralizer" "")
+        end
+      | Datapath.Forwarded p ->
+        t.ctrs.data_forwarded <- t.ctrs.data_forwarded + 1;
+        send t p)
+
+let handle_return t (p : Net.Packet.t) ~epoch ~nonce ~initiator =
+  if not (in_own_domain t p.src) then reject t "return-from-outside"
+  else
+    Net.Network.service t.net t.node.Net.Topology.nid
+      ~cost:t.config.costs.data_return (fun () ->
+        match
+          Datapath.forward_return_data ~master:t.config.master
+            ~self:t.config.anycast p ~epoch ~nonce ~initiator
+        with
+        | Datapath.Rejected reason -> reject t reason
+        | Datapath.Forwarded p ->
+          t.ctrs.data_returned <- t.ctrs.data_returned + 1;
+          send t p)
+
+let handle_reverse_key t (p : Net.Packet.t) ~outside =
+  if not (in_own_domain t p.src) then reject t "reverse-from-outside"
+  else begin
+    let epoch, nonce, key =
+      Datapath.fresh_grant ~master:t.config.master ~rng:t.config.rng
+        ~src:outside
+    in
+    t.ctrs.reverse_grants <- t.ctrs.reverse_grants + 1;
+    let shim = Shim.encode (Shim.Reverse_key_response { epoch; nonce; key }) in
+    send t
+      (Net.Packet.make ~protocol:Net.Packet.Shim ~shim ~src:t.config.anycast
+         ~dst:p.src
+         ~sent_at:(Net.Engine.now (engine t))
+         ~app:"neutralizer" "")
+  end
+
+let handle_qos_request t (p : Net.Packet.t) ~lease =
+  if not (in_own_domain t p.src) then reject t "qos-from-outside"
+  else begin
+    let lease =
+      if Int64.compare lease t.config.qos_max_lease > 0 then
+        t.config.qos_max_lease
+      else lease
+    in
+    let topo = Net.Network.topology t.net in
+    let dyn = Net.Topology.fresh_address topo t.node.Net.Topology.domain in
+    (* Route the dynamic address to this box by making it a one-member
+       anycast group; shortest paths to the box already exist. *)
+    Net.Topology.register_anycast topo dyn [ t.node.Net.Topology.nid ];
+    Hashtbl.replace t.qos dyn
+      { customer = p.src;
+        expires = Int64.add (Net.Engine.now (engine t)) lease
+      };
+    t.ctrs.qos_grants <- t.ctrs.qos_grants + 1;
+    let shim = Shim.encode (Shim.Qos_address_response { addr = dyn; lease }) in
+    send t
+      (Net.Packet.make ~protocol:Net.Packet.Shim ~shim ~src:t.config.anycast
+         ~dst:p.src
+         ~sent_at:(Net.Engine.now (engine t))
+         ~app:"neutralizer" "")
+  end
+
+(* Packets to a QoS dynamic address: plain NAT to the mapped customer,
+   flow-identifiable but not customer-identifiable (§3.4). *)
+let handle_qos_nat t (p : Net.Packet.t) entry =
+  if Int64.compare (Net.Engine.now (engine t)) entry.expires > 0 then begin
+    Hashtbl.remove t.qos p.dst;
+    reject t "qos-expired"
+  end
+  else
+    Net.Network.service t.net t.node.Net.Topology.nid
+      ~cost:t.config.costs.vanilla_forward (fun () ->
+        t.ctrs.qos_natted <- t.ctrs.qos_natted + 1;
+        send t { p with dst = entry.customer })
+
+let handle t (p : Net.Packet.t) =
+  match Hashtbl.find_opt t.qos p.dst with
+  | Some entry -> handle_qos_nat t p entry
+  | None ->
+    (match p.protocol with
+     | Net.Packet.Udp | Net.Packet.Tcp | Net.Packet.Icmp ->
+       reject t "non-shim"
+     | Net.Packet.Shim ->
+       (match Option.map Shim.decode p.shim with
+        | None | Some None -> reject t "malformed"
+        | Some (Some shim) ->
+          (match shim with
+           | Shim.Key_setup_request { pubkey } -> handle_key_setup t p pubkey
+           | Shim.Data d when not d.from_customer ->
+             if in_own_domain t p.src then reject t "data-from-inside"
+             else handle_outside_data t p d
+           | Shim.Data _ -> reject t "unexpected-data"
+           | Shim.Return { epoch; nonce; initiator } ->
+             handle_return t p ~epoch ~nonce ~initiator
+           | Shim.Reverse_key_request { outside } ->
+             handle_reverse_key t p ~outside
+           | Shim.Qos_address_request { lease } ->
+             handle_qos_request t p ~lease
+           | Shim.Key_setup_response _ | Shim.Reverse_key_response _
+           | Shim.Qos_address_response _ | Shim.Offload _
+           | Shim.Stale_grant _ ->
+             reject t "unexpected-kind")))
+
+let attach net node config =
+  let t =
+    { net;
+      node;
+      config;
+      ctrs =
+        { key_setups = 0;
+          data_forwarded = 0;
+          data_returned = 0;
+          reverse_grants = 0;
+          qos_grants = 0;
+          qos_natted = 0;
+          offloaded = 0;
+          rejected = 0;
+          rejected_bad_tag = 0;
+          rejected_epoch = 0
+        };
+      qos = Hashtbl.create 16;
+      customers = []
+    }
+  in
+  Net.Network.set_handler net node.Net.Topology.nid (fun _net _nid p ->
+      handle t p);
+  t

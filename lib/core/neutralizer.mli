@@ -1,0 +1,63 @@
+(** The neutralizer box: a node agent at the boundary of a
+    non-discriminatory ISP's domain (Fig. 1).
+
+    The box is {e stateless} on the key-setup and data paths — every
+    symmetric key is recomputed from the master key and packet-carried
+    (epoch, nonce, source) — so any number of boxes sharing one
+    {!Master_key.t} serve the same anycast address interchangeably. The
+    only state it may keep is the optional QoS dynamic-address table,
+    which §3.4 explicitly permits.
+
+    Per-packet CPU cost is charged to the simulation through
+    {!Net.Network.service} using the configured {!Protocol.costs}, so
+    simulated throughput reflects the measured cost of the crypto this
+    repository actually runs. *)
+
+type config = {
+  anycast : Net.Ipaddr.t;
+  master : Master_key.t;
+  rng : int -> string;
+  costs : Protocol.costs;
+  offload_helper : Net.Ipaddr.t option;
+      (** §3.2: "if a neutralizer cannot support RSA encryption at line
+          speed, it can offload the encryption operation to any customer
+          in its domain that is willing to help" *)
+  qos_max_lease : int64;
+}
+
+val default_config :
+  anycast:Net.Ipaddr.t -> master:Master_key.t -> rng:(int -> string) -> config
+
+type counters = {
+  mutable key_setups : int;
+  mutable data_forwarded : int;
+  mutable data_returned : int;
+  mutable reverse_grants : int;
+  mutable qos_grants : int;
+  mutable qos_natted : int;
+  mutable offloaded : int;
+  mutable rejected : int;
+  mutable rejected_bad_tag : int;
+  mutable rejected_epoch : int;
+}
+
+type t
+
+val attach : Net.Network.t -> Net.Topology.node -> config -> t
+(** Installs the box logic as the node's handler. The node should be
+    registered as a member of the anycast group for [config.anycast]. *)
+
+val counters : t -> counters
+val node : t -> Net.Topology.node
+
+val add_customer : t -> Net.Ipaddr.Prefix.t -> unit
+(** Register an additional customer prefix. The box normally tells
+    customers apart "from the source address field" (§3.2) by its own
+    domain prefix; a multi-homed site (§3.5) carries another provider's
+    (or provider-independent) addresses and must be registered
+    explicitly, as a provider provisions any customer attachment. *)
+
+val qos_mappings : t -> (Net.Ipaddr.t * Net.Ipaddr.t) list
+(** Current (dynamic address, customer) pairs — exposed for tests, which
+    assert the dynamic address is flow-identifiable but not
+    customer-identifiable to outsiders. *)

@@ -1,0 +1,44 @@
+(** Protocol constants shared across the neutralizer implementation. *)
+
+val nonce_len : int
+(** 8 bytes of nonce carried in clear in every shim (§3.2); together with
+    a one-byte master-key epoch this is what lets a stateless neutralizer
+    recompute [Ks]. *)
+
+val key_len : int
+(** 16 — AES-128 keys throughout, as in the paper's evaluation. *)
+
+val tag_len : int
+(** 4-byte integrity tag binding (nonce, blinded address). *)
+
+val onetime_rsa_bits : int
+(** 512 — the paper's short one-time key: "a 512-bit RSA key is only as
+    secure as a 56-bit symmetric key", acceptable because it is used once
+    and the derived symmetric key is rolled over within two RTTs. *)
+
+val e2e_rsa_bits : int
+(** 1024 — "strong end-to-end encryption, e.g. 1024-bit RSA" (§3.2). *)
+
+val rsa_public_exponent : int
+(** 3 — "an RSA encryption may involve as few as two multiplications, if
+    the exponent in the public key is 3" (§3.2). *)
+
+val master_key_lifetime : int64
+(** One hour in ns: "if we assume a neutralizer's master key lasts for an
+    hour, a source ... needs to send a key request once an hour" (§4). *)
+
+(** Per-packet CPU cost model for the simulated boxes, in nanoseconds.
+    Defaults were measured on this repository's own crypto code (see
+    bench group E3) so that simulated throughput and the
+    microbenchmarks tell one story. *)
+type costs = {
+  key_setup : int64;  (** parse + CMAC derive + PKCS pad + RSA e=3 encrypt *)
+  data_forward : int64;  (** CMAC derive + key schedule + unblind + tag *)
+  data_return : int64;  (** CMAC derive + key schedule + blind + tag *)
+  vanilla_forward : int64;  (** plain IP lookup/forward *)
+}
+
+val default_costs : costs
+
+val dscp_ef : int
+(** Expedited-forwarding code point used by the QoS experiments. *)

@@ -1,0 +1,16 @@
+type t = { mutable stopped : bool; mutable count : int }
+
+let schedule engine master ?(every = Protocol.master_key_lifetime) () =
+  let t = { stopped = false; count = 0 } in
+  let rec tick () =
+    if not t.stopped then begin
+      Master_key.rotate master;
+      t.count <- t.count + 1;
+      ignore (Net.Engine.schedule engine ~delay:every tick)
+    end
+  in
+  ignore (Net.Engine.schedule engine ~delay:every tick);
+  t
+
+let stop t = t.stopped <- true
+let rotations t = t.count

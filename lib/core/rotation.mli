@@ -1,0 +1,20 @@
+(** Operator-side master-key rotation on a schedule.
+
+    §4 sizes the system around "a neutralizer's master key lasts for an
+    hour"; this helper is the cron job that makes it true. Every [every]
+    ns the master advances one epoch; the previous epoch stays decryptable
+    for one more period (the {!Master_key} grace window), so in-flight
+    grants never break, and clients re-key on their own
+    {!Client.config.grant_max_age} clock — which should be shorter than
+    [every]. *)
+
+type t
+
+val schedule :
+  Net.Engine.t -> Master_key.t -> ?every:int64 -> unit -> t
+(** Starts rotating; [every] defaults to
+    {!Protocol.master_key_lifetime} (one hour). The recurring event keeps
+    the engine's queue non-empty until {!stop}. *)
+
+val stop : t -> unit
+val rotations : t -> int

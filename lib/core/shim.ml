@@ -1,0 +1,247 @@
+type refresh = { r_epoch : int; r_nonce : string; r_key : string }
+
+type data = {
+  epoch : int;
+  nonce : string;
+  enc_addr : string;
+  tag : string;
+  key_request : bool;
+  from_customer : bool;
+  refresh : refresh option;
+}
+
+type t =
+  | Key_setup_request of { pubkey : string }
+  | Key_setup_response of { rsa_ct : string }
+  | Data of data
+  | Return of { epoch : int; nonce : string; initiator : Net.Ipaddr.t }
+  | Reverse_key_request of { outside : Net.Ipaddr.t }
+  | Reverse_key_response of { epoch : int; nonce : string; key : string }
+  | Qos_address_request of { lease : int64 }
+  | Qos_address_response of { addr : Net.Ipaddr.t; lease : int64 }
+  | Offload of {
+      pubkey : string;
+      epoch : int;
+      nonce : string;
+      key : string;
+      requester : Net.Ipaddr.t;
+    }
+  | Stale_grant of { current_epoch : int }
+
+let data_shim_len = 20
+let put_u32 = Crypto.Bytes_util.put_u32
+let get_u32 = Crypto.Bytes_util.get_u32
+
+let put_u64 buf v =
+  put_u32 buf (Int64.to_int (Int64.shift_right_logical v 32));
+  put_u32 buf (Int64.to_int (Int64.logand v 0xffffffffL))
+
+let get_u64 s off =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (get_u32 s off)) 32)
+    (Int64.of_int (get_u32 s (off + 4)))
+
+let put_blob buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let get_blob s off =
+  if off + 4 > String.length s then None
+  else begin
+    let len = get_u32 s off in
+    if len < 0 || off + 4 + len > String.length s then None
+    else Some (String.sub s (off + 4) len, off + 4 + len)
+  end
+
+let kind_tag = function
+  | Key_setup_request _ -> 0
+  | Key_setup_response _ -> 1
+  | Data _ -> 2
+  | Return _ -> 3
+  | Reverse_key_request _ -> 4
+  | Reverse_key_response _ -> 5
+  | Qos_address_request _ -> 6
+  | Qos_address_response _ -> 7
+  | Offload _ -> 8
+  | Stale_grant _ -> 9
+
+let flag_key_request = 0x01
+let flag_from_customer = 0x02
+let flag_refresh = 0x04
+
+let check_lengths d =
+  String.length d.nonce = Protocol.nonce_len
+  && String.length d.enc_addr = 4
+  && String.length d.tag = Protocol.tag_len
+  &&
+  match d.refresh with
+  | None -> true
+  | Some r ->
+    String.length r.r_nonce = Protocol.nonce_len
+    && String.length r.r_key = Protocol.key_len
+
+let encode t =
+  let buf = Buffer.create 24 in
+  Buffer.add_char buf (Char.chr (kind_tag t));
+  (match t with
+   | Key_setup_request { pubkey } ->
+     Buffer.add_string buf "\x00\x00\x00";
+     put_blob buf pubkey
+   | Key_setup_response { rsa_ct } ->
+     Buffer.add_string buf "\x00\x00\x00";
+     put_blob buf rsa_ct
+   | Data d ->
+     if not (check_lengths d) then invalid_arg "Shim.encode: bad data field sizes";
+     let flags =
+       (if d.key_request then flag_key_request else 0)
+       lor (if d.from_customer then flag_from_customer else 0)
+       lor if d.refresh <> None then flag_refresh else 0
+     in
+     Buffer.add_char buf (Char.chr flags);
+     Buffer.add_char buf (Char.chr (d.epoch land 0xff));
+     Buffer.add_char buf '\x00';
+     Buffer.add_string buf d.nonce;
+     Buffer.add_string buf d.enc_addr;
+     Buffer.add_string buf d.tag;
+     (match d.refresh with
+      | None -> ()
+      | Some r ->
+        Buffer.add_char buf (Char.chr (r.r_epoch land 0xff));
+        Buffer.add_string buf r.r_nonce;
+        Buffer.add_string buf r.r_key)
+   | Return { epoch; nonce; initiator } ->
+     Buffer.add_char buf '\x00';
+     Buffer.add_char buf (Char.chr (epoch land 0xff));
+     Buffer.add_char buf '\x00';
+     Buffer.add_string buf nonce;
+     Buffer.add_string buf (Net.Ipaddr.to_octets initiator)
+   | Reverse_key_request { outside } ->
+     Buffer.add_string buf "\x00\x00\x00";
+     Buffer.add_string buf (Net.Ipaddr.to_octets outside)
+   | Reverse_key_response { epoch; nonce; key } ->
+     Buffer.add_char buf '\x00';
+     Buffer.add_char buf (Char.chr (epoch land 0xff));
+     Buffer.add_char buf '\x00';
+     Buffer.add_string buf nonce;
+     Buffer.add_string buf key
+   | Qos_address_request { lease } ->
+     Buffer.add_string buf "\x00\x00\x00";
+     put_u64 buf lease
+   | Qos_address_response { addr; lease } ->
+     Buffer.add_string buf "\x00\x00\x00";
+     Buffer.add_string buf (Net.Ipaddr.to_octets addr);
+     put_u64 buf lease
+   | Offload { pubkey; epoch; nonce; key; requester } ->
+     Buffer.add_char buf '\x00';
+     Buffer.add_char buf (Char.chr (epoch land 0xff));
+     Buffer.add_char buf '\x00';
+     Buffer.add_string buf nonce;
+     Buffer.add_string buf key;
+     Buffer.add_string buf (Net.Ipaddr.to_octets requester);
+     put_blob buf pubkey
+   | Stale_grant { current_epoch } ->
+     Buffer.add_char buf '\x00';
+     Buffer.add_char buf (Char.chr (current_epoch land 0xff));
+     Buffer.add_char buf '\x00');
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  if len < 4 then None
+  else begin
+    let kind = Char.code s.[0] in
+    let flags = Char.code s.[1] in
+    let epoch = Char.code s.[2] in
+    let nlen = Protocol.nonce_len in
+    match kind with
+    | 0 ->
+      (match get_blob s 4 with
+       | Some (pubkey, _) -> Some (Key_setup_request { pubkey })
+       | None -> None)
+    | 1 ->
+      (match get_blob s 4 with
+       | Some (rsa_ct, _) -> Some (Key_setup_response { rsa_ct })
+       | None -> None)
+    | 2 ->
+      if len < data_shim_len then None
+      else begin
+        let nonce = String.sub s 4 nlen in
+        let enc_addr = String.sub s (4 + nlen) 4 in
+        let tag = String.sub s (8 + nlen) Protocol.tag_len in
+        let key_request = flags land flag_key_request <> 0 in
+        let from_customer = flags land flag_from_customer <> 0 in
+        if flags land flag_refresh <> 0 then begin
+          let ext = 1 + nlen + Protocol.key_len in
+          if len < data_shim_len + ext then None
+          else begin
+            let off = data_shim_len in
+            let r_epoch = Char.code s.[off] in
+            let r_nonce = String.sub s (off + 1) nlen in
+            let r_key = String.sub s (off + 1 + nlen) Protocol.key_len in
+            Some
+              (Data
+                 { epoch;
+                   nonce;
+                   enc_addr;
+                   tag;
+                   key_request;
+                   from_customer;
+                   refresh = Some { r_epoch; r_nonce; r_key }
+                 })
+          end
+        end
+        else
+          Some
+            (Data
+               { epoch;
+                 nonce;
+                 enc_addr;
+                 tag;
+                 key_request;
+                 from_customer;
+                 refresh = None
+               })
+      end
+    | 3 ->
+      if len < 4 + nlen + 4 then None
+      else begin
+        let nonce = String.sub s 4 nlen in
+        let initiator = Net.Ipaddr.of_octets (String.sub s (4 + nlen) 4) in
+        Some (Return { epoch; nonce; initiator })
+      end
+    | 4 ->
+      if len < 8 then None
+      else Some (Reverse_key_request { outside = Net.Ipaddr.of_octets (String.sub s 4 4) })
+    | 5 ->
+      if len < 4 + nlen + Protocol.key_len then None
+      else begin
+        let nonce = String.sub s 4 nlen in
+        let key = String.sub s (4 + nlen) Protocol.key_len in
+        Some (Reverse_key_response { epoch; nonce; key })
+      end
+    | 6 ->
+      if len < 12 then None else Some (Qos_address_request { lease = get_u64 s 4 })
+    | 7 ->
+      if len < 16 then None
+      else
+        Some
+          (Qos_address_response
+             { addr = Net.Ipaddr.of_octets (String.sub s 4 4);
+               lease = get_u64 s 8
+             })
+    | 8 ->
+      if len < 4 + nlen + Protocol.key_len + 4 + 4 then None
+      else begin
+        let nonce = String.sub s 4 nlen in
+        let key = String.sub s (4 + nlen) Protocol.key_len in
+        let requester =
+          Net.Ipaddr.of_octets (String.sub s (4 + nlen + Protocol.key_len) 4)
+        in
+        match get_blob s (4 + nlen + Protocol.key_len + 4) with
+        | Some (pubkey, _) ->
+          Some (Offload { pubkey; epoch; nonce; key; requester })
+        | None -> None
+      end
+    | 9 -> Some (Stale_grant { current_epoch = epoch })
+    | _ -> None
+  end

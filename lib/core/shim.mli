@@ -1,0 +1,73 @@
+(** Wire codec for the shim layer.
+
+    "We assume each packet carries a standard IP header, and additional
+    fields needed by our design are carried in a shim layer between IP and
+    an upper layer" (§2). The IP protocol field is 253
+    ({!Net.Packet.Shim}).
+
+    The data shim is 20 bytes — kind, flags, epoch, reserved, an 8-byte
+    nonce, the 4-byte blinded address and a 4-byte tag — which together
+    with 20 (IP) + 8 (transport) + 64 (payload) reproduces the paper's
+    112-byte neutralized packet. *)
+
+type refresh = {
+  r_epoch : int;
+  r_nonce : string;  (** {!Protocol.nonce_len} bytes *)
+  r_key : string;  (** {!Protocol.key_len} bytes *)
+}
+(** The (nonce', Ks') pair a neutralizer stamps into a key-requesting
+    data packet (§3.2). In clear only inside the trusted domain; the
+    destination returns it to the source under end-to-end encryption. *)
+
+type data = {
+  epoch : int;
+  nonce : string;
+  enc_addr : string;  (** 4 blinded address bytes; zeros after unblinding *)
+  tag : string;  (** 4 bytes binding (Ks, nonce, address) *)
+  key_request : bool;
+  from_customer : bool;
+      (** set on packets leaving the neutralizer toward the outside
+          initiator, whose [enc_addr] hides the {e customer}'s address *)
+  refresh : refresh option;
+}
+
+type t =
+  | Key_setup_request of { pubkey : string }
+      (** outside source -> neutralizer: one-time RSA public key (§3.2) *)
+  | Key_setup_response of { rsa_ct : string }
+      (** neutralizer -> source: E_S(epoch, nonce, Ks) *)
+  | Data of data
+  | Return of { epoch : int; nonce : string; initiator : Net.Ipaddr.t }
+      (** customer -> neutralizer: initiator address and forward nonce in
+          clear inside the trusted domain (§3.2, packets 5 and 6) *)
+  | Reverse_key_request of { outside : Net.Ipaddr.t }
+      (** customer -> neutralizer, in-domain, plaintext (§3.3): a key for
+          talking to [outside] *)
+  | Reverse_key_response of { epoch : int; nonce : string; key : string }
+  | Qos_address_request of { lease : int64 }
+      (** §3.4: ask for a dynamic, flow-identifiable address *)
+  | Qos_address_response of { addr : Net.Ipaddr.t; lease : int64 }
+  | Offload of {
+      pubkey : string;
+      epoch : int;
+      nonce : string;
+      key : string;
+      requester : Net.Ipaddr.t;
+    }
+      (** neutralizer -> helper customer: do the RSA encryption for me
+          (§3.2 offloading) *)
+  | Stale_grant of { current_epoch : int }
+      (** neutralizer -> source: your epoch is no longer decryptable
+          (master key rotated twice since your key setup); re-key. The
+          notification carries no secrets and is advisory — a client
+          verifies it against its own grant before acting. *)
+
+val encode : t -> string
+val decode : string -> t option
+
+val data_shim_len : int
+(** Length of an un-extended data shim (20). *)
+
+val kind_tag : t -> int
+(** First byte of the encoding — the only dispatch an eavesdropper needs
+    to recognise key-setup packets, which §3.6 concedes is possible. *)

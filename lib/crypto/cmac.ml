@@ -1,0 +1,43 @@
+type key = { aes : Aes.key; k1 : string; k2 : string }
+
+(* Doubling in GF(2^128) with the CMAC reduction constant 0x87. *)
+let dbl s =
+  let b = Bytes.create 16 in
+  let carry = ref 0 in
+  for i = 15 downto 0 do
+    let v = (Char.code s.[i] lsl 1) lor !carry in
+    Bytes.set b i (Char.chr (v land 0xff));
+    carry := v lsr 8
+  done;
+  if Char.code s.[0] land 0x80 <> 0 then
+    Bytes.set b 15 (Char.chr (Char.code (Bytes.get b 15) lxor 0x87));
+  Bytes.to_string b
+
+let key k =
+  let aes = Aes.expand_key k in
+  let l = Aes.encrypt_block aes (String.make 16 '\x00') in
+  let k1 = dbl l in
+  let k2 = dbl k1 in
+  { aes; k1; k2 }
+
+let mac { aes; k1; k2 } msg =
+  let len = String.length msg in
+  let nblocks = if len = 0 then 1 else (len + 15) / 16 in
+  let last_complete = len > 0 && len mod 16 = 0 in
+  let x = ref (String.make 16 '\x00') in
+  for i = 0 to nblocks - 2 do
+    let block = String.sub msg (16 * i) 16 in
+    x := Aes.encrypt_block aes (Bytes_util.xor !x block)
+  done;
+  let last =
+    if last_complete then
+      Bytes_util.xor (String.sub msg (16 * (nblocks - 1)) 16) k1
+    else begin
+      let tail = String.sub msg (16 * (nblocks - 1)) (len - (16 * (nblocks - 1))) in
+      let padded = tail ^ "\x80" ^ String.make (15 - String.length tail) '\x00' in
+      Bytes_util.xor padded k2
+    end
+  in
+  Aes.encrypt_block aes (Bytes_util.xor !x last)
+
+let mac_parts key parts = mac key (String.concat "" parts)

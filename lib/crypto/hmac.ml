@@ -1,0 +1,20 @@
+let block_size = 64
+
+let mac ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let key = key ^ String.make (block_size - String.length key) '\x00' in
+  let ipad = Bytes_util.xor key (String.make block_size '\x36') in
+  let opad = Bytes_util.xor key (String.make block_size '\x5c') in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let mac_hex ~key msg = Bytes_util.to_hex (mac ~key msg)
+
+let derive ~secret ~label ~length =
+  let buf = Buffer.create length in
+  let counter = ref 0 in
+  while Buffer.length buf < length do
+    incr counter;
+    Buffer.add_string buf
+      (mac ~key:secret (label ^ String.make 1 (Char.chr !counter)))
+  done;
+  String.sub (Buffer.contents buf) 0 length

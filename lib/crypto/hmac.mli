@@ -1,0 +1,11 @@
+(** HMAC-SHA256 (RFC 2104), used as the PRF for end-to-end session key
+    derivation. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte tag; keys of any length. *)
+
+val mac_hex : key:string -> string -> string
+
+(** [derive ~secret ~label ~length] expands [secret] into [length] bytes of
+    key material using counter-mode HMAC (a simplified HKDF-Expand). *)
+val derive : secret:string -> label:string -> length:int -> string

@@ -1,0 +1,84 @@
+let incr_counter block =
+  (* Increment the low 32 bits (big-endian) of a 16-byte counter block. *)
+  let b = Bytes.of_string block in
+  let rec bump i =
+    if i >= 12 then begin
+      let v = (Char.code (Bytes.get b i) + 1) land 0xff in
+      Bytes.set b i (Char.chr v);
+      if v = 0 then bump (i - 1)
+    end
+  in
+  bump 15;
+  Bytes.to_string b
+
+let ctr ~key ~nonce s =
+  if String.length nonce <> Aes.block_size then
+    invalid_arg "Mode.ctr: nonce must be 16 bytes";
+  let len = String.length s in
+  let out = Bytes.create len in
+  let counter = ref nonce in
+  let off = ref 0 in
+  while !off < len do
+    let ks = Aes.encrypt_block key !counter in
+    let n = min Aes.block_size (len - !off) in
+    for i = 0 to n - 1 do
+      Bytes.set out (!off + i)
+        (Char.chr (Char.code s.[!off + i] lxor Char.code ks.[i]))
+    done;
+    counter := incr_counter !counter;
+    off := !off + n
+  done;
+  Bytes.to_string out
+
+let ecb_encrypt ~key s =
+  if String.length s mod Aes.block_size <> 0 then
+    invalid_arg "Mode.ecb_encrypt: not a block multiple";
+  let blocks = String.length s / Aes.block_size in
+  let buf = Buffer.create (String.length s) in
+  for i = 0 to blocks - 1 do
+    Buffer.add_string buf
+      (Aes.encrypt_block key (String.sub s (16 * i) 16))
+  done;
+  Buffer.contents buf
+
+let ecb_decrypt ~key s =
+  if String.length s mod Aes.block_size <> 0 then
+    invalid_arg "Mode.ecb_decrypt: not a block multiple";
+  let blocks = String.length s / Aes.block_size in
+  let buf = Buffer.create (String.length s) in
+  for i = 0 to blocks - 1 do
+    Buffer.add_string buf
+      (Aes.decrypt_block key (String.sub s (16 * i) 16))
+  done;
+  Buffer.contents buf
+
+let cbc_encrypt ~key ~iv s =
+  if String.length iv <> Aes.block_size then
+    invalid_arg "Mode.cbc_encrypt: iv must be 16 bytes";
+  let s = Bytes_util.pad_block s in
+  let blocks = String.length s / Aes.block_size in
+  let buf = Buffer.create (String.length s) in
+  let prev = ref iv in
+  for i = 0 to blocks - 1 do
+    let x = Bytes_util.xor (String.sub s (16 * i) 16) !prev in
+    let c = Aes.encrypt_block key x in
+    Buffer.add_string buf c;
+    prev := c
+  done;
+  Buffer.contents buf
+
+let cbc_decrypt ~key ~iv s =
+  if String.length iv <> Aes.block_size then
+    invalid_arg "Mode.cbc_decrypt: iv must be 16 bytes";
+  if String.length s = 0 || String.length s mod Aes.block_size <> 0 then None
+  else begin
+    let blocks = String.length s / Aes.block_size in
+    let buf = Buffer.create (String.length s) in
+    let prev = ref iv in
+    for i = 0 to blocks - 1 do
+      let c = String.sub s (16 * i) 16 in
+      Buffer.add_string buf (Bytes_util.xor (Aes.decrypt_block key c) !prev);
+      prev := c
+    done;
+    Bytes_util.unpad_block (Buffer.contents buf)
+  end

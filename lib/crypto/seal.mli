@@ -1,0 +1,23 @@
+(** Hybrid public-key envelopes: RSA-encrypted 32-byte secret, AES-CTR
+    body, HMAC-SHA256 tag. The "standard end-to-end encryption techniques
+    (e.g., IPsec)" that the paper uses as a black box (§3.1) — this is our
+    concrete instantiation.
+
+    [seal]/[unseal] open a fresh secret per message; the symmetric
+    variants reuse an established secret (e.g. for a response on the same
+    exchange, or an ongoing session). *)
+
+val seal : rng:(int -> string) -> pub:Rsa.public -> string -> string
+(** Raises [Invalid_argument] if the RSA modulus is too small for the
+    32-byte secret (needs >= 43 bytes, i.e. >= 344-bit keys). *)
+
+val unseal : priv:Rsa.private_key -> string -> string option
+
+val seal_sym : rng:(int -> string) -> secret:string -> string -> string
+(** [secret] is the 32-byte value recovered by the receiving side. *)
+
+val unseal_sym : secret:string -> string -> string option
+
+val recover_secret : priv:Rsa.private_key -> string -> string option
+(** The secret inside a [seal] envelope, so the receiver can answer with
+    {!seal_sym}. *)

@@ -1,0 +1,104 @@
+(* All word arithmetic is on native ints masked to 32 bits. *)
+
+let m32 = 0xffffffff
+let ( &: ) a b = a land b
+let ( ^: ) a b = a lxor b
+let add32 a b = (a + b) land m32
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land m32
+let shr x n = x lsr n
+
+let first_primes n =
+  let rec go c acc k =
+    if k = 0 then List.rev acc
+    else begin
+      let is_prime =
+        let rec chk d = d * d > c || (c mod d <> 0 && chk (d + 1)) in
+        chk 2
+      in
+      if is_prime then go (c + 1) (c :: acc) (k - 1) else go (c + 1) acc k
+    end
+  in
+  go 2 [] n
+
+(* frac(root) * 2^32, computed in float; validated downstream by the
+   known-answer tests (any rounding slip would break them loudly). *)
+let frac_bits root p =
+  let r = root (float_of_int p) in
+  let frac = r -. Float.of_int (int_of_float r) in
+  int_of_float (frac *. 4294967296.0) land m32
+
+let k = Array.of_list (List.map (frac_bits Float.cbrt) (first_primes 64))
+let h0 = Array.of_list (List.map (frac_bits Float.sqrt) (first_primes 8))
+
+type ctx = { h : int array; pending : string; total : int }
+
+let init () = { h = Array.copy h0; pending = ""; total = 0 }
+
+let compress h block off =
+  let w = Array.make 64 0 in
+  for t = 0 to 15 do
+    w.(t) <- Bytes_util.get_u32 block (off + (4 * t))
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 ^: rotr w.(t - 15) 18 ^: shr w.(t - 15) 3 in
+    let s1 = rotr w.(t - 2) 17 ^: rotr w.(t - 2) 19 ^: shr w.(t - 2) 10 in
+    w.(t) <- add32 (add32 w.(t - 16) s0) (add32 w.(t - 7) s1)
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 ^: rotr !e 11 ^: rotr !e 25 in
+    let ch = (!e &: !f) ^: (lnot !e &: !g) in
+    let t1 = add32 (add32 !hh s1) (add32 (add32 ch k.(t)) w.(t)) in
+    let s0 = rotr !a 2 ^: rotr !a 13 ^: rotr !a 22 in
+    let maj = (!a &: !b) ^: (!a &: !c) ^: (!b &: !c) in
+    let t2 = add32 s0 maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := add32 !d t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := add32 t1 t2
+  done;
+  h.(0) <- add32 h.(0) !a;
+  h.(1) <- add32 h.(1) !b;
+  h.(2) <- add32 h.(2) !c;
+  h.(3) <- add32 h.(3) !d;
+  h.(4) <- add32 h.(4) !e;
+  h.(5) <- add32 h.(5) !f;
+  h.(6) <- add32 h.(6) !g;
+  h.(7) <- add32 h.(7) !hh
+
+let feed ctx s =
+  let data = ctx.pending ^ s in
+  let nblocks = String.length data / 64 in
+  let h = Array.copy ctx.h in
+  for i = 0 to nblocks - 1 do
+    compress h data (64 * i)
+  done;
+  { h;
+    pending = String.sub data (64 * nblocks) (String.length data - (64 * nblocks));
+    total = ctx.total + String.length s
+  }
+
+let finalize ctx =
+  let bitlen = ctx.total * 8 in
+  let padlen =
+    let r = (String.length ctx.pending + 1 + 8) mod 64 in
+    if r = 0 then 0 else 64 - r
+  in
+  let tail = Buffer.create 72 in
+  Buffer.add_char tail '\x80';
+  Buffer.add_string tail (String.make padlen '\x00');
+  Bytes_util.put_u32 tail (bitlen lsr 32);
+  Bytes_util.put_u32 tail (bitlen land m32);
+  let ctx = feed { ctx with total = 0 } (Buffer.contents tail) in
+  assert (ctx.pending = "");
+  let out = Buffer.create 32 in
+  Array.iter (Bytes_util.put_u32 out) ctx.h;
+  Buffer.contents out
+
+let digest msg = finalize (feed (init ()) msg)
+let digest_hex msg = Bytes_util.to_hex (digest msg)

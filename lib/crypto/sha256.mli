@@ -1,0 +1,17 @@
+(** SHA-256 (FIPS 180-4).
+
+    Used for end-to-end session key derivation and DNS record signatures.
+    The round constants are derived from the fractional parts of cube
+    roots of the first 64 primes at initialisation and validated by RFC
+    known-answer tests. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte hash. *)
+
+val digest_hex : string -> string
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> ctx
+val finalize : ctx -> string

@@ -1,0 +1,68 @@
+type app_class = Voip | Web | Video | Dns_query | Key_setup | Encrypted | Other
+
+let payload_entropy s =
+  let len = String.length s in
+  if len = 0 then 0.0
+  else begin
+    let hist = Array.make 256 0 in
+    String.iter (fun c -> hist.(Char.code c) <- hist.(Char.code c) + 1) s;
+    let n = float_of_int len in
+    Array.fold_left
+      (fun acc count ->
+        if count = 0 then acc
+        else begin
+          let p = float_of_int count /. n in
+          acc -. (p *. (log p /. log 2.0))
+        end)
+      0.0 hist
+  end
+
+let shim_kind (o : Net.Observation.t) =
+  match o.shim with
+  | Some s when String.length s > 0 -> Some (Char.code s.[0])
+  | Some _ | None -> None
+
+let is_key_setup (o : Net.Observation.t) =
+  o.protocol = 253
+  && (match shim_kind o with Some (0 | 1) -> true | Some _ -> false | None -> false)
+
+let looks_encrypted (o : Net.Observation.t) =
+  (* A payload of n bytes can show at most min(8, log2 n) bits/byte of
+     entropy, so the threshold scales with length. *)
+  o.protocol = 253
+  ||
+  let n = String.length o.payload in
+  n >= 32
+  && payload_entropy o.payload
+     > 0.85 *. Float.min 8.0 (log (float_of_int n) /. log 2.0)
+
+let has_substring hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl > 0 && go 0
+
+let classify (o : Net.Observation.t) =
+  if is_key_setup o then Key_setup
+  else if o.protocol = 253 then Encrypted
+  else if o.dst_port = 53 || o.src_port = 53 then Dns_query
+  else if o.dst_port = 5060 || o.src_port = 5060 || has_substring o.payload "SIP/2.0"
+  then Voip
+  else if
+    o.dst_port = 80 || o.src_port = 80 || o.dst_port = 443 || o.src_port = 443
+    || has_substring o.payload "HTTP/1.1"
+    || has_substring o.payload "GET "
+  then Web
+  else if o.dst_port = 1935 || o.size > 1200 then Video
+  else if looks_encrypted o then Encrypted
+  else Other
+
+let pp_app_class fmt c =
+  Format.pp_print_string fmt
+    (match c with
+     | Voip -> "voip"
+     | Web -> "web"
+     | Video -> "video"
+     | Dns_query -> "dns"
+     | Key_setup -> "key-setup"
+     | Encrypted -> "encrypted"
+     | Other -> "other")

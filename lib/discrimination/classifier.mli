@@ -1,0 +1,34 @@
+(** What a discriminatory ISP can infer from the wire (§2, §3.6).
+
+    Everything here consumes {!Net.Observation.t} only: ports, payload
+    bytes, sizes — never simulation metadata. The classifier is the
+    adversary's best effort; the design's whole point is that against
+    neutralized traffic its verdicts collapse to "encrypted shim traffic
+    to/from that ISP", with at most the key-setup packets recognisable
+    (which §3.6 concedes and accepts). *)
+
+type app_class =
+  | Voip
+  | Web
+  | Video
+  | Dns_query
+  | Key_setup  (** recognisable shim key-setup exchange *)
+  | Encrypted  (** shim data or otherwise unclassifiable high-entropy *)
+  | Other
+
+val classify : Net.Observation.t -> app_class
+(** Port heuristics plus payload inspection (DPI). *)
+
+val payload_entropy : string -> float
+(** Shannon entropy in bits/byte over the byte histogram; encrypted
+    payloads sit near 8.0, plaintext protocols well below. *)
+
+val looks_encrypted : Net.Observation.t -> bool
+(** High payload entropy or shim protocol — §3.6 discrimination vector 2:
+    "discriminate against encrypted traffic". *)
+
+val is_key_setup : Net.Observation.t -> bool
+(** §3.6 vector 3: "an ISP may infer a key setup packet from the nonce
+    field, or from the packet length". *)
+
+val pp_app_class : Format.formatter -> app_class -> unit

@@ -1,0 +1,124 @@
+type policy = No_discrimination | Degrade_innovator | Degrade_everything
+
+type params = {
+  customers : int;
+  isps : int;
+  rounds : int;
+  voip_weight : float;
+  degrade_factor : float;
+  switching_cost : float;
+  substitute_penalty : float;
+  seed : int;
+}
+
+let default_params =
+  { customers = 10_000;
+    isps = 2;
+    rounds = 36;
+    voip_weight = 0.3;
+    degrade_factor = 0.3;
+    switching_cost = 0.25;
+    substitute_penalty = 0.1;
+    seed = 42
+  }
+
+type round_stats = {
+  round : int;
+  discriminator_share : float;
+  innovator_users : float;
+  own_voip_users : float;
+  mean_utility : float;
+}
+
+type customer = {
+  mutable isp : int;
+  mutable voip : [ `Innovator | `Substitute ];
+  tolerance : float; (* individual scale on the switching threshold *)
+}
+
+let run ?(neutralized = false) p policy =
+  if p.isps < 2 then invalid_arg "Market.run: need at least 2 ISPs";
+  let st = Random.State.make [| p.seed |] in
+  let pop =
+    Array.init p.customers (fun i ->
+        { isp = i mod p.isps;
+          voip = `Innovator;
+          tolerance = 0.5 +. Random.State.float st 1.0
+        })
+  in
+  let effective_policy =
+    (* A neutralized innovator cannot be singled out: the targeted policy
+       becomes a no-op (§3's design goal). Wholesale degradation still
+       works — the ISP is ill-treating its own customers (§3.6). *)
+    match (policy, neutralized) with
+    | Degrade_innovator, true -> No_discrimination
+    | other, _ -> other
+  in
+  let utility c =
+    let base = 1.0 -. p.voip_weight in
+    let voip_quality =
+      match c.voip with
+      | `Substitute -> 1.0 -. p.substitute_penalty
+      | `Innovator ->
+        if c.isp = 0 && effective_policy = Degrade_innovator then
+          p.degrade_factor
+        else 1.0
+    in
+    let overall =
+      if c.isp = 0 && effective_policy = Degrade_everything then
+        p.degrade_factor
+      else 1.0
+    in
+    overall *. (base +. (p.voip_weight *. voip_quality))
+  in
+  let best_alternative = 1.0 (* a neutral competitor delivers full utility *) in
+  let stats round =
+    let at0 = Array.to_list pop |> List.filter (fun c -> c.isp = 0) in
+    let n0 = float_of_int (List.length at0) in
+    let count f = float_of_int (List.length (List.filter f at0)) in
+    { round;
+      discriminator_share = n0 /. float_of_int p.customers;
+      innovator_users = (if n0 = 0.0 then 0.0 else count (fun c -> c.voip = `Innovator) /. n0);
+      own_voip_users = (if n0 = 0.0 then 0.0 else count (fun c -> c.voip = `Substitute) /. n0);
+      mean_utility =
+        (if n0 = 0.0 then 0.0
+         else List.fold_left (fun acc c -> acc +. utility c) 0.0 at0 /. n0)
+    }
+  in
+  let step () =
+    Array.iter
+      (fun c ->
+        let u = utility c in
+        if c.isp = 0 then begin
+          (* First, the cheap local fix: a frustrated VoIP user adopts the
+             ISP's own substitute long before churning (§1's inertia). *)
+          (if
+             c.voip = `Innovator && effective_policy = Degrade_innovator
+             && Random.State.float st 1.0 < 0.4
+           then c.voip <- `Substitute);
+          (* Then the expensive fix: switch providers only when the whole
+             experience lags the alternative by more than the personal
+             switching cost. *)
+          let deficit = best_alternative -. u in
+          if deficit > p.switching_cost *. c.tolerance then begin
+            let churn_probability = Float.min 0.5 (deficit -. (p.switching_cost *. c.tolerance)) in
+            if Random.State.float st 1.0 < churn_probability then begin
+              c.isp <- 1 + Random.State.int st (p.isps - 1);
+              c.voip <- `Innovator
+            end
+          end
+        end)
+      pop
+  in
+  let rec rounds acc i =
+    if i > p.rounds then List.rev acc
+    else begin
+      step ();
+      rounds (stats i :: acc) (i + 1)
+    end
+  in
+  rounds [ stats 0 ] 1
+
+let final = function
+  | [] -> invalid_arg "Market.final: empty"
+  | l -> List.nth l (List.length l - 1)

@@ -1,0 +1,54 @@
+(** Agent-based model of the paper's §1 market-forces hypothesis.
+
+    The hypothesis: "the present market structure may not have sufficient
+    competition to prevent an access ISP from degrading the service of a
+    particular application or a site, but might be sufficient to keep
+    them from intentionally ill-treating their own customers."
+
+    The model: [customers] subscribers split across [isps] access
+    providers. One provider (ISP 0) runs a discrimination [policy]. Each
+    simulated month a customer experiences a utility from its traffic mix
+    (a [voip_weight] fraction rides an innovator's VoIP — "Vonage");
+    degraded VoIP pushes the customer toward the ISP's {e own} VoIP
+    substitute (cheap to adopt), while whole-connection degradation makes
+    the customer compare providers and switch {e ISPs} when the utility
+    deficit exceeds its switching cost (inertia, bundling, hassle — §1).
+
+    With [~neutralized:true] the innovator's traffic is indistinguishable
+    inside the access ISP, so a [Degrade_innovator] policy has nothing to
+    bite on; the only remaining lever is degrading all encrypted traffic,
+    which hits the ISP's own customers across the board. *)
+
+type policy =
+  | No_discrimination
+  | Degrade_innovator
+      (** give the competitor's VoIP a low priority (§1's Vonage story) *)
+  | Degrade_everything  (** ill-treat own customers wholesale *)
+
+type params = {
+  customers : int;
+  isps : int;
+  rounds : int;
+  voip_weight : float;  (** fraction of utility derived from VoIP *)
+  degrade_factor : float;  (** quality multiplier when degraded, e.g. 0.3 *)
+  switching_cost : float;  (** utility threshold before changing ISP *)
+  substitute_penalty : float;
+      (** utility loss from using the ISP's own VoIP instead of the
+          innovator's (worse product, but not degraded) *)
+  seed : int;
+}
+
+val default_params : params
+
+type round_stats = {
+  round : int;
+  discriminator_share : float;  (** ISP 0 market share *)
+  innovator_users : float;  (** fraction of ISP-0 customers on Vonage *)
+  own_voip_users : float;  (** fraction on the ISP's substitute *)
+  mean_utility : float;  (** across ISP-0 customers *)
+}
+
+val run : ?neutralized:bool -> params -> policy -> round_stats list
+(** One row per round; deterministic in [params.seed]. *)
+
+val final : round_stats list -> round_stats

@@ -1,0 +1,63 @@
+type matcher =
+  | Any
+  | App of Classifier.app_class
+  | Src_in of Net.Ipaddr.Prefix.t
+  | Dst_in of Net.Ipaddr.Prefix.t
+  | Addr of Net.Ipaddr.t
+  | Dst_port of int
+  | Dscp of int
+  | Encrypted
+  | Key_setup_packets
+  | Size_at_least of int
+  | Not of matcher
+  | All_of of matcher list
+  | Any_of of matcher list
+
+let rec matches m (o : Net.Observation.t) =
+  match m with
+  | Any -> true
+  | App c -> Classifier.classify o = c
+  | Src_in p -> Net.Ipaddr.Prefix.mem o.src p
+  | Dst_in p -> Net.Ipaddr.Prefix.mem o.dst p
+  | Addr a -> Net.Ipaddr.equal o.src a || Net.Ipaddr.equal o.dst a
+  | Dst_port p -> o.dst_port = p
+  | Dscp d -> o.dscp = d
+  | Encrypted -> Classifier.looks_encrypted o
+  | Key_setup_packets -> Classifier.is_key_setup o
+  | Size_at_least n -> o.size >= n
+  | Not m -> not (matches m o)
+  | All_of ms -> List.for_all (fun m -> matches m o) ms
+  | Any_of ms -> List.exists (fun m -> matches m o) ms
+
+type behaviour =
+  | Allow
+  | Block
+  | Delay_by of int64
+  | Throttle of Shaper.t
+  | Set_dscp of int
+
+type rule = { matcher : matcher; behaviour : behaviour; label : string }
+
+let rule ?(label = "") matcher behaviour = { matcher; behaviour; label }
+
+type compiled = { r : rule; mutable hit_count : int }
+
+type t = compiled list
+
+let create rules = List.map (fun r -> { r; hit_count = 0 }) rules
+
+let apply c (o : Net.Observation.t) =
+  c.hit_count <- c.hit_count + 1;
+  match c.r.behaviour with
+  | Allow -> Net.Network.Forward
+  | Block -> Net.Network.Drop
+  | Delay_by d -> Net.Network.Delay d
+  | Throttle shaper -> Shaper.decide shaper ~size:o.size
+  | Set_dscp d -> Net.Network.Remark d
+
+let middleware t (o : Net.Observation.t) =
+  match List.find_opt (fun c -> matches c.r.matcher o) t with
+  | Some c -> apply c o
+  | None -> Net.Network.Forward
+
+let hits t = List.map (fun c -> (c.r.label, c.hit_count)) t

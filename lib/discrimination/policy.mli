@@ -1,0 +1,45 @@
+(** Declarative discrimination policies — the adversary's rulebook.
+
+    A policy is an ordered list of (matcher, behaviour) rules compiled
+    into a {!Net.Network.middleware}. Matchers cover every vector the
+    paper discusses: content/application type (§1, via the classifier),
+    specific sources or destinations ("slow down a customer's VoIP
+    traffic from Vonage"), encrypted traffic and key-setup packets
+    (§3.6), and DSCP tiers (§3.4 — the legitimate kind). *)
+
+type matcher =
+  | Any
+  | App of Classifier.app_class
+  | Src_in of Net.Ipaddr.Prefix.t
+  | Dst_in of Net.Ipaddr.Prefix.t
+  | Addr of Net.Ipaddr.t  (** matches source or destination *)
+  | Dst_port of int
+  | Dscp of int
+  | Encrypted
+  | Key_setup_packets
+  | Size_at_least of int
+  | Not of matcher
+  | All_of of matcher list
+  | Any_of of matcher list
+
+val matches : matcher -> Net.Observation.t -> bool
+
+type behaviour =
+  | Allow
+  | Block
+  | Delay_by of int64
+  | Throttle of Shaper.t
+  | Set_dscp of int
+
+type rule = { matcher : matcher; behaviour : behaviour; label : string }
+
+val rule : ?label:string -> matcher -> behaviour -> rule
+
+type t
+
+val create : rule list -> t
+(** First matching rule wins; no match means forward. *)
+
+val middleware : t -> Net.Network.middleware
+val hits : t -> (string * int) list
+(** Match counts per rule label, for experiments. *)

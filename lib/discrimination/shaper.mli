@@ -1,0 +1,31 @@
+(** Token-bucket traffic shaping — the mechanism behind "intentionally
+    slow down a competitor's service" (§1).
+
+    A shaper holds a bucket refilled at [rate_bps]; a matching packet
+    either spends tokens and passes, is delayed until tokens accrue
+    (bounded by [max_delay]), or is dropped once the virtual queue is too
+    long. *)
+
+type t
+
+val create :
+  Net.Engine.t ->
+  rate_bps:int ->
+  ?burst_bytes:int ->
+  ?max_delay:int64 ->
+  unit ->
+  t
+(** [burst_bytes] defaults to 16 KiB, [max_delay] to 500 ms of virtual
+    queue, after which packets drop. *)
+
+val decide : t -> size:int -> Net.Network.action
+(** Charge a packet of [size] bytes against the bucket. *)
+
+val middleware :
+  t -> (Net.Observation.t -> bool) -> Net.Network.middleware
+(** [middleware t matches] shapes matching packets and forwards the
+    rest untouched. *)
+
+val passed : t -> int
+val delayed : t -> int
+val dropped : t -> int

@@ -1,0 +1,130 @@
+type features = {
+  packets : int;
+  pps : float;
+  mean_size : float;
+  std_size : float;
+  small_fraction : float;
+  large_fraction : float;
+  iat_cv : float;
+}
+
+type verdict = Looks_voip | Looks_video | Looks_web | Unknown
+
+type stream = {
+  mutable count : int;
+  mutable size_sum : float;
+  mutable size_sq_sum : float;
+  mutable small : int;
+  mutable large : int;
+  mutable first_at : int64;
+  mutable last_at : int64;
+  mutable iat_sum : float;
+  mutable iat_sq_sum : float;
+  mutable iat_count : int;
+}
+
+type t = (Net.Ipaddr.t, stream) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let stream t src =
+  match Hashtbl.find_opt t src with
+  | Some s -> s
+  | None ->
+    let s =
+      { count = 0;
+        size_sum = 0.0;
+        size_sq_sum = 0.0;
+        small = 0;
+        large = 0;
+        first_at = 0L;
+        last_at = 0L;
+        iat_sum = 0.0;
+        iat_sq_sum = 0.0;
+        iat_count = 0
+      }
+    in
+    Hashtbl.replace t src s;
+    s
+
+(* A domain-wide tap sees the same packet at several vantage points a few
+   hundred microseconds apart; as in any multi-vantage capture, arrivals
+   closer than this are merged into one event. *)
+let dedup_window = 2_000_000L (* 2 ms *)
+
+let observe t (o : Net.Observation.t) =
+  if o.protocol = 253 then begin
+    let s = stream t o.src in
+    let duplicate =
+      s.count > 0
+      && Int64.compare (Int64.sub o.observed_at s.last_at) dedup_window < 0
+    in
+    if not duplicate then begin
+      if s.count > 0 then begin
+        let iat = Int64.to_float (Int64.sub o.observed_at s.last_at) in
+        if iat > 0.0 then begin
+          s.iat_sum <- s.iat_sum +. iat;
+          s.iat_sq_sum <- s.iat_sq_sum +. (iat *. iat);
+          s.iat_count <- s.iat_count + 1
+        end
+      end
+      else s.first_at <- o.observed_at;
+      s.last_at <- o.observed_at;
+      s.count <- s.count + 1;
+      let size = float_of_int o.size in
+      s.size_sum <- s.size_sum +. size;
+      s.size_sq_sum <- s.size_sq_sum +. (size *. size);
+      if o.size < 300 then s.small <- s.small + 1;
+      if o.size >= 1000 then s.large <- s.large + 1
+    end
+  end
+
+let sources t = Hashtbl.fold (fun src _ acc -> src :: acc) t []
+
+let features_of t src =
+  match Hashtbl.find_opt t src with
+  | Some s when s.count >= 10 ->
+    let n = float_of_int s.count in
+    let mean_size = s.size_sum /. n in
+    let var = Float.max 0.0 ((s.size_sq_sum /. n) -. (mean_size *. mean_size)) in
+    let span = Int64.to_float (Int64.sub s.last_at s.first_at) *. 1e-9 in
+    let iat_mean =
+      if s.iat_count = 0 then 0.0 else s.iat_sum /. float_of_int s.iat_count
+    in
+    let iat_var =
+      if s.iat_count = 0 then 0.0
+      else
+        Float.max 0.0
+          ((s.iat_sq_sum /. float_of_int s.iat_count) -. (iat_mean *. iat_mean))
+    in
+    Some
+      { packets = s.count;
+        pps = (if span <= 0.0 then 0.0 else n /. span);
+        mean_size;
+        std_size = sqrt var;
+        small_fraction = float_of_int s.small /. n;
+        large_fraction = float_of_int s.large /. n;
+        iat_cv = (if iat_mean <= 0.0 then 0.0 else sqrt iat_var /. iat_mean)
+      }
+  | Some _ | None -> None
+
+(* Hand-tuned thresholds in the spirit of early website-fingerprinting
+   work: regularity (low inter-arrival CV) separates paced media from
+   bursty web; size separates voice frames from video frames. *)
+let classify f =
+  let paced = f.iat_cv < 0.5 in
+  if paced && f.small_fraction > 0.8 && f.pps > 15.0 then Looks_voip
+  else if f.large_fraction > 0.5 && f.pps > 5.0 then Looks_video
+  else if (not paced) && f.std_size > 100.0 then Looks_web
+  else Unknown
+
+let classify_source t src =
+  match features_of t src with None -> Unknown | Some f -> classify f
+
+let pp_verdict fmt v =
+  Format.pp_print_string fmt
+    (match v with
+     | Looks_voip -> "voip"
+     | Looks_video -> "video"
+     | Looks_web -> "web"
+     | Unknown -> "unknown")

@@ -1,0 +1,117 @@
+type query = { id : int; qname : string; qtype : Record.qtype }
+
+type rcode = No_error | Name_error | Format_error
+
+type response = {
+  id : int;
+  qname : string;
+  rcode : rcode;
+  answers : Record.rr list;
+  signature : string option;
+}
+
+let put_u32 = Crypto.Bytes_util.put_u32
+let get_u32 = Crypto.Bytes_util.get_u32
+
+let put_string buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string s off =
+  if off + 4 > String.length s then None
+  else begin
+    let len = get_u32 s off in
+    if len < 0 || off + 4 + len > String.length s then None
+    else Some (String.sub s (off + 4) len, off + 4 + len)
+  end
+
+let encode_query (q : query) =
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf 'Q';
+  put_u32 buf q.id;
+  Buffer.add_char buf (Char.chr (Record.qtype_tag q.qtype));
+  put_string buf q.qname;
+  Buffer.contents buf
+
+let decode_query s =
+  if String.length s < 10 || s.[0] <> 'Q' then None
+  else begin
+    let id = get_u32 s 1 in
+    match Record.qtype_of_tag (Char.code s.[5]) with
+    | None -> None
+    | Some qtype ->
+      (match get_string s 6 with
+       | Some (qname, _) -> Some { id; qname; qtype }
+       | None -> None)
+  end
+
+let rcode_tag = function No_error -> 0 | Name_error -> 3 | Format_error -> 1
+
+let rcode_of_tag = function
+  | 0 -> Some No_error
+  | 3 -> Some Name_error
+  | 1 -> Some Format_error
+  | _ -> None
+
+let encode_response (r : response) =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf 'R';
+  put_u32 buf r.id;
+  Buffer.add_char buf (Char.chr (rcode_tag r.rcode));
+  put_string buf r.qname;
+  put_u32 buf (List.length r.answers);
+  List.iter (Record.encode_rr buf) r.answers;
+  (match r.signature with
+   | None -> Buffer.add_char buf '\x00'
+   | Some s ->
+     Buffer.add_char buf '\x01';
+     put_string buf s);
+  Buffer.contents buf
+
+let decode_response s =
+  if String.length s < 10 || s.[0] <> 'R' then None
+  else begin
+    let id = get_u32 s 1 in
+    match rcode_of_tag (Char.code s.[5]) with
+    | None -> None
+    | Some rcode ->
+      (match get_string s 6 with
+       | None -> None
+       | Some (qname, off) ->
+         if off + 4 > String.length s then None
+         else begin
+           let count = get_u32 s off in
+           if count < 0 || count > 1024 then None
+           else begin
+             let rec answers n off acc =
+               if n = 0 then Some (List.rev acc, off)
+               else
+                 match Record.decode_rr s off with
+                 | None -> None
+                 | Some (rr, off) -> answers (n - 1) off (rr :: acc)
+             in
+             match answers count (off + 4) [] with
+             | None -> None
+             | Some (answers, off) ->
+               if off >= String.length s then None
+               else begin
+                 match s.[off] with
+                 | '\x00' ->
+                   Some { id; qname; rcode; answers; signature = None }
+                 | '\x01' ->
+                   (match get_string s (off + 1) with
+                    | Some (sg, _) ->
+                      Some { id; qname; rcode; answers; signature = Some sg }
+                    | None -> None)
+                 | _ -> None
+               end
+           end
+         end)
+  end
+
+let signing_input ~qname answers =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "nn-dns-sig-v1";
+  put_string buf qname;
+  List.iter (Record.encode_rr buf) answers;
+  Buffer.contents buf

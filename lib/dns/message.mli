@@ -1,0 +1,25 @@
+(** Wire codec for DNS queries and responses carried as UDP payloads in
+    the simulation. The format is a compact length-prefixed encoding, not
+    RFC 1035 bit-compatible — the experiments only need behavioural
+    fidelity (who can read the qname, who answers). *)
+
+type query = { id : int; qname : string; qtype : Record.qtype }
+
+type rcode = No_error | Name_error | Format_error
+
+type response = {
+  id : int;
+  qname : string;
+  rcode : rcode;
+  answers : Record.rr list;
+  signature : string option;
+      (** RSA signature over the answer section by the zone key *)
+}
+
+val encode_query : query -> string
+val decode_query : string -> query option
+val encode_response : response -> string
+val decode_response : string -> response option
+
+val signing_input : qname:string -> Record.rr list -> string
+(** Canonical bytes covered by a response signature. *)

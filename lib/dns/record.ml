@@ -1,0 +1,74 @@
+type rr =
+  | A of Net.Ipaddr.t
+  | Neut of Net.Ipaddr.t
+  | Key of string
+  | Txt of string
+
+type qtype = Q_A | Q_NEUT | Q_KEY | Q_TXT | Q_ANY
+
+let matches q rr =
+  match (q, rr) with
+  | Q_ANY, _ -> true
+  | Q_A, A _ -> true
+  | Q_NEUT, Neut _ -> true
+  | Q_KEY, Key _ -> true
+  | Q_TXT, Txt _ -> true
+  | (Q_A | Q_NEUT | Q_KEY | Q_TXT), _ -> false
+
+let rr_type_tag = function A _ -> 1 | Neut _ -> 2 | Key _ -> 3 | Txt _ -> 4
+
+let qtype_tag = function
+  | Q_A -> 1
+  | Q_NEUT -> 2
+  | Q_KEY -> 3
+  | Q_TXT -> 4
+  | Q_ANY -> 255
+
+let qtype_of_tag = function
+  | 1 -> Some Q_A
+  | 2 -> Some Q_NEUT
+  | 3 -> Some Q_KEY
+  | 4 -> Some Q_TXT
+  | 255 -> Some Q_ANY
+  | _ -> None
+
+let put_u32 = Crypto.Bytes_util.put_u32
+let get_u32 = Crypto.Bytes_util.get_u32
+
+let encode_rr buf rr =
+  Buffer.add_char buf (Char.chr (rr_type_tag rr));
+  match rr with
+  | A addr | Neut addr -> Buffer.add_string buf (Net.Ipaddr.to_octets addr)
+  | Key s | Txt s ->
+    put_u32 buf (String.length s);
+    Buffer.add_string buf s
+
+let decode_rr s off =
+  if off >= String.length s then None
+  else begin
+    let tag = Char.code s.[off] in
+    match tag with
+    | 1 | 2 ->
+      if off + 5 > String.length s then None
+      else begin
+        let addr = Net.Ipaddr.of_octets (String.sub s (off + 1) 4) in
+        Some ((if tag = 1 then A addr else Neut addr), off + 5)
+      end
+    | 3 | 4 ->
+      if off + 5 > String.length s then None
+      else begin
+        let len = get_u32 s (off + 1) in
+        if len < 0 || off + 5 + len > String.length s then None
+        else begin
+          let body = String.sub s (off + 5) len in
+          Some ((if tag = 3 then Key body else Txt body), off + 5 + len)
+        end
+      end
+    | _ -> None
+  end
+
+let pp_rr fmt = function
+  | A a -> Format.fprintf fmt "A %a" Net.Ipaddr.pp a
+  | Neut a -> Format.fprintf fmt "NEUT %a" Net.Ipaddr.pp a
+  | Key k -> Format.fprintf fmt "KEY (%d bytes)" (String.length k)
+  | Txt s -> Format.fprintf fmt "TXT %S" s

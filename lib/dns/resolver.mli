@@ -1,0 +1,71 @@
+(** DNS server and client over the simulated network.
+
+    Two query modes reproduce §3.1:
+
+    - {b plain}: the query name travels in cleartext, so "a discriminatory
+      ISP may eavesdrop on its customer's DNS queries and discriminate DNS
+      queries based on the query destination";
+    - {b encrypted}: the query is sealed to the resolver's public key and
+      the response comes back under the same exchange secret, so the
+      access ISP sees only that a DNS exchange happened — the paper's
+      countermeasure of sending encrypted queries "to DNS resolvers that
+      are not controlled by the discriminatory ISP". *)
+
+val default_port : int
+
+type server
+
+val serve :
+  Net.Host.t ->
+  zone:Zone.t ->
+  ?port:int ->
+  ?signer:Crypto.Rsa.private_key ->
+  ?decryption_key:Crypto.Rsa.private_key ->
+  ?rng:(int -> string) ->
+  unit ->
+  server
+(** [signer] signs answer sections; [decryption_key] enables the encrypted
+    query mode ([rng] is then required to seal responses). *)
+
+val queries_served : server -> int
+
+type error = Timeout | Bad_response | Bad_signature | Refused
+
+val pp_error : Format.formatter -> error -> unit
+
+val resolve :
+  Net.Host.t ->
+  server:Net.Ipaddr.t ->
+  ?port:int ->
+  ?encrypt_to:Crypto.Rsa.public ->
+  ?rng:(int -> string) ->
+  ?verify:Crypto.Rsa.public ->
+  ?timeout:int64 ->
+  name:string ->
+  qtype:Record.qtype ->
+  (((Record.rr list), error) result -> unit) ->
+  unit
+(** Asynchronous lookup; the callback fires exactly once. [encrypt_to]
+    (with [rng]) switches to the encrypted mode; [verify] checks the
+    response signature. *)
+
+type site_info = {
+  addrs : Net.Ipaddr.t list;
+  neutralizers : Net.Ipaddr.t list;
+  key : Crypto.Rsa.public option;
+}
+
+val site_info_of_answers : Record.rr list -> site_info
+
+val bootstrap :
+  Net.Host.t ->
+  server:Net.Ipaddr.t ->
+  ?port:int ->
+  ?encrypt_to:Crypto.Rsa.public ->
+  ?rng:(int -> string) ->
+  ?verify:Crypto.Rsa.public ->
+  ?timeout:int64 ->
+  name:string ->
+  ((site_info, error) result -> unit) ->
+  unit
+(** One [Q_ANY] round trip fetching the full §3.1 triple for [name]. *)

@@ -1,0 +1,32 @@
+(** Ablations over the design choices §3.2 argues for.
+
+    - {b A1, public exponent}: the paper picks the first key-setup variant
+      partly because e=3 encryption "may involve as few as two
+      multiplications". We measure key-setup throughput with e=3 against
+      e=65537.
+    - {b A2, key rollover}: the 512-bit one-time key is tolerable because
+      the derived key is replaced "within two round trip times". We
+      measure the actual exposure window in an end-to-end run, with the
+      refresh machinery on and off.
+    - {b A3, statelessness}: the neutralizer recomputes [Ks] and its key
+      schedule on every packet instead of caching per-source state. We
+      measure what that recomputation costs the data path.
+    - {b A4, offload}: with a willing customer doing the RSA work, the
+      box's key-setup path becomes a stamp-and-forward. We count who
+      performs the public-key operations. *)
+
+type a1 = { e3_ops : float; e65537_ops : float }
+type a2 = { exposure_ms : float; rtt_ms : float; without_refresh_ms : float }
+type a3 = { stateless_ops : float; cached_ops : float; overhead : float }
+
+type a4 = {
+  box_rsa_ops : int;
+  box_offload_stamps : int;
+  helper_rsa_ops : int;
+  client_completed : bool;
+}
+
+type result = { a1 : a1; a2 : a2; a3 : a3; a4 : a4 }
+
+val run : ?min_time:float -> unit -> result
+val print : result -> unit

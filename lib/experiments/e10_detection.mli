@@ -1,0 +1,30 @@
+(** Experiment E10 (extension) — detecting discrimination by differential
+    probing.
+
+    §1's market argument needs users to {e notice} degradation and
+    attribute it correctly ("a user that experiences a low-quality VoIP
+    service from Vonage ... might not bother to switch"). This experiment
+    runs the {!Detection.Probe} detector — interleaved app-identical and
+    control flows to a neutral measurement server — from three vantage
+    points:
+
+    - inside AT&T while it runs the E5 targeted VoIP throttle: the
+      differential convicts it;
+    - inside clean Verizon: no differential;
+    - inside AT&T while it degrades {e all} traffic: both flows suffer
+      equally, so the detector correctly reports no app-specific
+      discrimination — that case is whole-customer degradation, the kind
+      §1 trusts the market to punish. *)
+
+type row = {
+  vantage : string;
+  app_loss : float;
+  control_loss : float;
+  discriminated : bool;
+  reason : string;
+}
+
+type result = { rows : row list }
+
+val run : ?duration_s:float -> unit -> result
+val print : result -> unit

@@ -1,0 +1,30 @@
+(** Experiment E11 (extension) — §3.6's residual discrimination vectors.
+
+    "A discriminatory ISP can still discriminate packets in at least
+    three ways: 1) discriminate based on its customers' or neutralizers'
+    addresses; 2) discriminate against encrypted traffic; 3) discriminate
+    against key setup packets. We are not concerned with these types of
+    discriminations because none of them allows an ISP to
+    deterministically harm an application, a competitor's service, or a
+    non-customer/peer."
+
+    We measure exactly that: Ann runs two concurrent calls — to Vonage
+    (the competitor AT&T wants to hurt) and to Google (an innocent
+    bystander) — under each policy. The {b selectivity} of a policy is
+    the MOS gap between bystander and target: a targeted throttle on
+    plain traffic is perfectly selective; all three §3.6 fallbacks hit
+    both flows identically (selectivity ≈ 0), turning "hurt the
+    competitor" into "hurt every customer using the neutralizer" — which
+    is the customer-visible, market-punishable kind of harm (§1). *)
+
+type row = {
+  policy : string;
+  vonage_mos : float;  (** the intended target *)
+  google_mos : float;  (** the bystander *)
+  selectivity : float;  (** google - vonage; ~0 means the weapon is blunt *)
+}
+
+type result = { rows : row list }
+
+val run : ?duration_s:float -> unit -> result
+val print : result -> unit

@@ -1,0 +1,143 @@
+type result = {
+  forward_pps : float;
+  return_pps : float;
+  vanilla_pps : float;
+  neutralized_packet_bytes : int;
+  vanilla_packet_bytes : int;
+  ratio : float;
+  paper_forward_pps : float;
+  paper_vanilla_pps : float;
+}
+
+let payload_64 = String.make 64 'v'
+
+let fixture () =
+  let master = Core.Master_key.of_seed ~seed:"e2" in
+  let drbg = Crypto.Drbg.create ~seed:"e2" in
+  let rng n = Crypto.Drbg.generate drbg n in
+  let src = Net.Ipaddr.of_string "10.1.0.2" in
+  let customer = Net.Ipaddr.of_string "10.2.0.3" in
+  let anycast = Net.Ipaddr.of_string "10.2.255.1" in
+  let nonce = rng Core.Protocol.nonce_len in
+  let epoch, ks = Core.Master_key.derive_current master ~nonce ~src in
+  (master, rng, src, customer, anycast, nonce, epoch, ks)
+
+let forward_op () =
+  let master, rng, src, customer, anycast, nonce, epoch, ks = fixture () in
+  let enc_addr, tag = Core.Datapath.blind ~ks ~epoch ~nonce customer in
+  let data =
+    { Core.Shim.epoch;
+      nonce;
+      enc_addr;
+      tag;
+      key_request = false;
+      from_customer = false;
+      refresh = None
+    }
+  in
+  let packet =
+    Net.Packet.make ~protocol:Net.Packet.Shim
+      ~shim:(Core.Shim.encode (Core.Shim.Data data))
+      ~src ~dst:anycast payload_64
+  in
+  fun () ->
+    match
+      Core.Datapath.forward_outside_data ~master ~rng ~self:anycast packet
+        data
+    with
+    | Core.Datapath.Forwarded _ -> ()
+    | Core.Datapath.Rejected r -> failwith ("E2 forward rejected: " ^ r)
+
+let return_op () =
+  let master, _rng, src, customer, anycast, nonce, epoch, _ks = fixture () in
+  let packet =
+    Net.Packet.make ~protocol:Net.Packet.Shim
+      ~shim:(Core.Shim.encode (Core.Shim.Return { epoch; nonce; initiator = src }))
+      ~src:customer ~dst:anycast payload_64
+  in
+  fun () ->
+    match
+      Core.Datapath.forward_return_data ~master ~self:anycast packet ~epoch
+        ~nonce ~initiator:src
+    with
+    | Core.Datapath.Forwarded _ -> ()
+    | Core.Datapath.Rejected r -> failwith ("E2 return rejected: " ^ r)
+
+let vanilla_op () =
+  let st = Random.State.make [| 0xe2 |] in
+  let fib = Baseline.Vanilla.random_fib ~entries:4096 st in
+  (* Same 112-byte wire size as the neutralized packet: 64B payload plus a
+     20-byte dummy shim. *)
+  let packet =
+    Net.Packet.make
+      ~src:(Net.Ipaddr.of_string "10.1.0.2")
+      ~dst:(Net.Ipaddr.of_string "10.2.0.3")
+      ~shim:(String.make 20 '\x00') payload_64
+  in
+  fun () ->
+    match Baseline.Vanilla.process fib packet with
+    | Some _ -> ()
+    | None -> failwith "E2 vanilla: no route"
+
+let neutralized_size () =
+  let _, _, src, customer, anycast, nonce, epoch, ks = fixture () in
+  let enc_addr, tag = Core.Datapath.blind ~ks ~epoch ~nonce customer in
+  Net.Packet.size
+    (Net.Packet.make ~protocol:Net.Packet.Shim
+       ~shim:
+         (Core.Shim.encode
+            (Core.Shim.Data
+               { epoch;
+                 nonce;
+                 enc_addr;
+                 tag;
+                 key_request = false;
+                 from_customer = false;
+                 refresh = None
+               }))
+       ~src ~dst:anycast payload_64)
+
+let run ?min_time () =
+  let forward_pps = Table.measure ?min_time (forward_op ()) in
+  let return_pps = Table.measure ?min_time (return_op ()) in
+  let vanilla_pps = Table.measure ?min_time (vanilla_op ()) in
+  { forward_pps;
+    return_pps;
+    vanilla_pps;
+    neutralized_packet_bytes = neutralized_size ();
+    vanilla_packet_bytes =
+      Net.Packet.size
+        (Net.Packet.make
+           ~src:(Net.Ipaddr.of_string "10.1.0.2")
+           ~dst:(Net.Ipaddr.of_string "10.2.0.3")
+           payload_64);
+    ratio = forward_pps /. vanilla_pps;
+    paper_forward_pps = 422_000.0;
+    paper_vanilla_pps = 600_000.0
+  }
+
+let print r =
+  Table.print
+    ~title:
+      "E2: data-path throughput, 64-byte payloads (packet sizes: neutralized vs vanilla)"
+    ~header:[ ""; "neutralized pps"; "return pps"; "vanilla pps"; "ratio" ]
+    [ [ "paper";
+        Table.kops r.paper_forward_pps;
+        "-";
+        Table.kops r.paper_vanilla_pps;
+        Table.f2 (r.paper_forward_pps /. r.paper_vanilla_pps)
+      ];
+      [ "this repo";
+        Table.kops r.forward_pps;
+        Table.kops r.return_pps;
+        Table.kops r.vanilla_pps;
+        Table.f2 r.ratio
+      ];
+      [ Printf.sprintf "packet bytes: %d neutralized / %d vanilla"
+          r.neutralized_packet_bytes r.vanilla_packet_bytes;
+        "";
+        "";
+        "";
+        ""
+      ]
+    ]

@@ -1,0 +1,37 @@
+(** Experiment E4 — resource comparison with anonymous routing (§5).
+
+    Paper: "our design is considerably more efficient and scalable in
+    terms of resource consumption. In our design, routers don't keep
+    per-flow state, and perform much fewer public key
+    encryption/decryption operations."
+
+    We drive both systems over the same workload — [sources] clients,
+    each opening [flows_per_source] flows and pushing
+    [packets_per_flow] packets — and count actual public-key operations
+    performed, per-flow state entries resident in network boxes, and
+    symmetric operations per packet. The onion baseline uses 3-hop
+    circuits (one per flow, as Tor does per stream-group); the
+    neutralizer needs one key setup per {e source} per master-key
+    lifetime and keeps no state. *)
+
+type side = {
+  scheme : string;
+  pubkey_ops_network : int;  (** at relays / at the neutralizer *)
+  pubkey_ops_client : int;
+  state_entries : int;  (** resident in network boxes after setup *)
+  sym_ops_per_packet : float;  (** network-side symmetric ops per packet *)
+}
+
+type result = {
+  sources : int;
+  flows_per_source : int;
+  packets_per_flow : int;
+  neutralizer : side;
+  onion : side;
+}
+
+val run :
+  ?sources:int -> ?flows_per_source:int -> ?packets_per_flow:int -> unit ->
+  result
+
+val print : result -> unit

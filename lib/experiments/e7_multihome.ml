@@ -1,0 +1,168 @@
+type row = {
+  strategy : string;
+  via_cogent : int;
+  via_level3 : int;
+  delivered : int;
+  sent : int;
+}
+
+type result = { rows : row list }
+
+type setup = {
+  world : Scenario.World.t;
+  level3_anycast : Net.Ipaddr.t;
+  level3_box : Core.Neutralizer.t;
+  level3_box_node : Net.Topology.node;
+  dual_host : Net.Host.t;
+}
+
+(* Extend the Figure-1 world with a second neutralizing provider and a
+   dual-homed site reachable through both. *)
+let build () =
+  let world = Scenario.World.create () in
+  let topo = world.Scenario.World.topo in
+  let net = world.Scenario.World.net in
+  let level3 =
+    Net.Topology.add_domain topo ~name:"level3" ~prefix:"10.5.0.0/16"
+  in
+  let l3_router =
+    Net.Topology.add_node topo ~domain:level3 ~kind:Net.Topology.Router
+      ~name:"l3-r"
+  in
+  let l3_box_node =
+    Net.Topology.add_node topo ~domain:level3
+      ~kind:Net.Topology.Neutralizer_box ~name:"l3-box"
+  in
+  let dual =
+    Net.Topology.add_node topo ~domain:level3 ~kind:Net.Topology.Host
+      ~name:"dual"
+  in
+  let gbps = 1_000_000_000 and ms = 1_000_000L in
+  Net.Topology.add_link topo world.Scenario.World.att_router.nid
+    l3_router.nid ~bandwidth_bps:gbps ~latency:(Int64.mul 5L ms)
+    ~rel:Net.Topology.Peer ();
+  Net.Topology.add_link topo l3_router.nid l3_box_node.nid ~bandwidth_bps:gbps
+    ~latency:ms ();
+  Net.Topology.add_link topo l3_box_node.nid dual.nid ~bandwidth_bps:gbps
+    ~latency:ms ();
+  (* The site's Cogent attachment: a direct link into the Cogent core.
+     Incoming traffic through Cogent's anycast reaches it that way. *)
+  let cog_r1 =
+    List.find
+      (fun (n : Net.Topology.node) -> n.node_name = "cogent-r1")
+      (Net.Topology.nodes topo)
+  in
+  Net.Topology.add_link topo cog_r1.nid dual.nid ~bandwidth_bps:gbps
+    ~latency:ms ();
+  let level3_anycast = Net.Ipaddr.of_string "10.5.255.1" in
+  Net.Topology.register_anycast topo level3_anycast [ l3_box_node.nid ];
+  Net.Network.recompute_routes net;
+  (* Level3 runs its own master key and box. *)
+  let l3_master = Core.Master_key.of_seed ~seed:"level3-master" in
+  let drbg = Crypto.Drbg.create ~seed:"l3-box" in
+  let l3_box =
+    Core.Neutralizer.attach net l3_box_node
+      (Core.Neutralizer.default_config ~anycast:level3_anycast
+         ~master:l3_master
+         ~rng:(fun n -> Crypto.Drbg.generate drbg n))
+  in
+  (* The dual site: answers through whichever provider is first in its
+     list; publishes both NEUT records (§3.5). *)
+  let key = Scenario.Keyring.e2e 9 in
+  let dual_host = Net.Host.attach net dual in
+  let server =
+    Core.Server.create dual_host ~private_key:key
+      ~neutralizer:level3_anycast ~seed:"dual" ()
+  in
+  Core.Server.set_neutralizers server
+    [ level3_anycast; world.Scenario.World.anycast ];
+  Core.Server.set_responder server (fun srv ~peer payload ->
+      Core.Server.reply srv ~session:peer ~app:"reply" ("re:" ^ payload));
+  List.iter
+    (fun box ->
+      Core.Neutralizer.add_customer box (Net.Ipaddr.Prefix.make dual.addr 32))
+    world.Scenario.World.boxes;
+  Dns.Zone.publish_site world.Scenario.World.zone ~name:"dual.example"
+    ~addr:dual.addr
+    ~neutralizers:[ world.Scenario.World.anycast; level3_anycast ]
+    ~key:key.Crypto.Rsa.public;
+  { world;
+    level3_anycast;
+    level3_box = l3_box;
+    level3_box_node = l3_box_node;
+    dual_host
+  }
+
+let cogent_forwarded world =
+  List.fold_left
+    (fun acc b -> acc + (Core.Neutralizer.counters b).data_forwarded)
+    0 world.Scenario.World.boxes
+
+let run_strategy ~label ~strategy ~packets ~kill_level3_at =
+  let s = build () in
+  let world = s.world in
+  let engine = world.Scenario.World.engine in
+  let client =
+    Scenario.World.make_client world world.Scenario.World.ann_host
+      ~seed:("e7-" ^ label) ~strategy ()
+  in
+  let received = ref 0 in
+  Core.Client.set_receiver client (fun ~peer:_ _ -> incr received);
+  (match kill_level3_at with
+   | None -> ()
+   | Some at ->
+     ignore
+       (Net.Engine.schedule_s engine ~delay_s:at (fun () ->
+            (* The Level3 box dies: packets to it vanish. *)
+            Net.Network.set_handler world.Scenario.World.net
+              s.level3_box_node.nid (fun _ _ _ -> ()))));
+  for i = 0 to packets - 1 do
+    ignore
+      (Net.Engine.schedule_s engine
+         ~delay_s:(0.01 *. float_of_int i)
+         (fun () ->
+           Core.Client.send_to_name client ~name:"dual.example" ~app:"web"
+             ~flow_id:1 ~seq:i
+             (Printf.sprintf "req-%d" i)))
+  done;
+  Scenario.World.run world;
+  { strategy = label;
+    via_cogent = cogent_forwarded world;
+    via_level3 = (Core.Neutralizer.counters s.level3_box).data_forwarded;
+    delivered = !received;
+    sent = packets
+  }
+
+let run ?(packets = 400) () =
+  let rows =
+    [ run_strategy ~label:"first-listed" ~strategy:Core.Multihome.First
+        ~packets ~kill_level3_at:None;
+      run_strategy ~label:"round-robin" ~strategy:Core.Multihome.Round_robin
+        ~packets ~kill_level3_at:None;
+      (fun () ->
+        let cogent = Net.Ipaddr.of_string "10.2.255.1" in
+        let level3 = Net.Ipaddr.of_string "10.5.255.1" in
+        run_strategy ~label:"weighted 80/20 cogent/level3"
+          ~strategy:
+            (Core.Multihome.Weighted [ (cogent, 0.8); (level3, 0.2) ])
+          ~packets ~kill_level3_at:None)
+        ();
+      run_strategy ~label:"prefer level3, dies mid-run"
+        ~strategy:(Core.Multihome.Prefer (Net.Ipaddr.of_string "10.5.255.1"))
+        ~packets ~kill_level3_at:(Some 1.0)
+    ]
+  in
+  { rows }
+
+let print r =
+  Table.print
+    ~title:"E7: multi-homed site, neutralizer selection and failover (§3.5)"
+    ~header:[ "strategy"; "via cogent"; "via level3"; "delivered" ]
+    (List.map
+       (fun row ->
+         [ row.strategy;
+           string_of_int row.via_cogent;
+           string_of_int row.via_level3;
+           Printf.sprintf "%d/%d" row.delivered row.sent
+         ])
+       r.rows)

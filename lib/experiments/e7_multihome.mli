@@ -1,0 +1,24 @@
+(** Experiment E7 — multi-homed sites (§3.5).
+
+    A site ("dual.example") buys transit from two neutralizing providers
+    — Cogent and Level3 — and publishes one NEUT record per provider.
+    "The ISP-level path of the site's incoming and outgoing traffic is
+    then controlled by how other sources pick the neutralizers."
+
+    We measure the provider split that each client selection strategy
+    produces, and the trial-and-error failover the paper appeals to: mid
+    run, the Level3 neutralizer dies; the client's key setup times out,
+    the address is marked failed, and traffic re-homes through Cogent. *)
+
+type row = {
+  strategy : string;
+  via_cogent : int;
+  via_level3 : int;
+  delivered : int;
+  sent : int;
+}
+
+type result = { rows : row list }
+
+val run : ?packets:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,75 @@
+type row = {
+  label : string;
+  discriminator_share : float;
+  innovator_users : float;
+  own_voip_users : float;
+  mean_utility : float;
+}
+
+type result = {
+  rows : row list;
+  timeline : Discrimination.Market.round_stats list;
+}
+
+let conditions =
+  [ ("no discrimination", Discrimination.Market.No_discrimination, false);
+    ("target innovator, plain", Discrimination.Market.Degrade_innovator, false);
+    ("target innovator, neutralized", Discrimination.Market.Degrade_innovator, true);
+    ("degrade everything, plain", Discrimination.Market.Degrade_everything, false);
+    ("degrade everything, neutralized", Discrimination.Market.Degrade_everything, true)
+  ]
+
+let run ?(params = Discrimination.Market.default_params) () =
+  let rows =
+    List.map
+      (fun (label, policy, neutralized) ->
+        let stats =
+          Discrimination.Market.final
+            (Discrimination.Market.run ~neutralized params policy)
+        in
+        { label;
+          discriminator_share = stats.discriminator_share;
+          innovator_users = stats.innovator_users;
+          own_voip_users = stats.own_voip_users;
+          mean_utility = stats.mean_utility
+        })
+      conditions
+  in
+  let timeline =
+    Discrimination.Market.run ~neutralized:false params
+      Discrimination.Market.Degrade_innovator
+  in
+  { rows; timeline }
+
+let print r =
+  Table.print
+    ~title:
+      "E8: market model, final state after 36 months (ISP 0 discriminates)"
+    ~header:
+      [ "condition"; "ISP-0 share"; "innovator users"; "own-VoIP users";
+        "mean utility"
+      ]
+    (List.map
+       (fun row ->
+         [ row.label;
+           Table.pct row.discriminator_share;
+           Table.pct row.innovator_users;
+           Table.pct row.own_voip_users;
+           Table.f2 row.mean_utility
+         ])
+       r.rows);
+  let samples =
+    List.filter
+      (fun (s : Discrimination.Market.round_stats) -> s.round mod 6 = 0)
+      r.timeline
+  in
+  Table.print
+    ~title:"E8 timeline: target-innovator policy, plain traffic"
+    ~header:[ "month"; "ISP-0 share"; "innovator users" ]
+    (List.map
+       (fun (s : Discrimination.Market.round_stats) ->
+         [ string_of_int s.round;
+           Table.pct s.discriminator_share;
+           Table.pct s.innovator_users
+         ])
+       samples)

@@ -1,0 +1,26 @@
+(** Experiment E8 — the §1 market-forces hypothesis, quantified.
+
+    Three discrimination policies by one of two access ISPs, with and
+    without the neutralizer deployed, over 36 simulated months:
+
+    - targeting the innovator's app costs the ISP almost no subscribers
+      while the innovator's user base collapses — "using this tactic,
+      gradually, a broadband service provider may drive Vonage out of
+      business";
+    - degrading all its customers' traffic triggers mass churn — the
+      market force the paper {e does} trust;
+    - with the neutralizer deployed the targeting lever disappears, and
+      the innovator survives without any regulation of the access ISP. *)
+
+type row = {
+  label : string;
+  discriminator_share : float;
+  innovator_users : float;
+  own_voip_users : float;
+  mean_utility : float;
+}
+
+type result = { rows : row list; timeline : Discrimination.Market.round_stats list }
+
+val run : ?params:Discrimination.Market.params -> unit -> result
+val print : result -> unit

@@ -1,0 +1,33 @@
+(** Experiment E9 (extension) — the attack §2 defers, and its cited
+    countermeasure.
+
+    "Our current design does not consider traffic analysis attacks that
+    infer application types or packet ownships using packet size and
+    timing information. If in the practical deployment ISPs can use
+    traffic analysis to successfully discriminate, we will consider
+    incorporating mechanisms such as adaptive traffic masking."
+
+    Three users inside AT&T run neutralized flows with distinct
+    signatures — a VoIP call, a video stream, bursty web requests — while
+    AT&T runs {!Discrimination.Timing_analysis} over its taps. We report
+    the adversary's per-user verdicts and accuracy, unmasked versus with
+    {!Core.Masking} (uniform 1536-byte buckets, 50 pps pacing with cover
+    traffic), plus what the masking costs in wire bytes. *)
+
+type row = {
+  user : string;
+  truth : string;
+  unmasked_verdict : string;
+  masked_verdict : string;
+}
+
+type result = {
+  rows : row list;
+  unmasked_accuracy : float;
+  masked_accuracy : float;
+  unmasked_wire_bytes : int;
+  masked_wire_bytes : int;
+}
+
+val run : ?duration_s:float -> unit -> result
+val print : result -> unit

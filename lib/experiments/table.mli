@@ -1,0 +1,15 @@
+(** Console tables for experiment output, in the style of the paper's
+    reported rows. *)
+
+val print : title:string -> header:string list -> string list list -> unit
+
+val kops : float -> string
+(** 24400.0 -> "24.4k"; 2350000.0 -> "2.35M". *)
+
+val f2 : float -> string
+val f0 : float -> string
+val pct : float -> string
+
+(** [measure f] runs [f] repeatedly for at least [min_time] wall-clock
+    seconds (default 0.4) and returns operations per second. *)
+val measure : ?min_time:float -> (unit -> unit) -> float

@@ -1,0 +1,51 @@
+type event = { f : unit -> unit; mutable cancelled : bool }
+
+type t = {
+  q : event Pqueue.t;
+  mutable clock : int64;
+  mutable seq : int;
+  mutable processed : int;
+}
+
+type handle = event
+
+let create () = { q = Pqueue.create (); clock = 0L; seq = 0; processed = 0 }
+let now t = t.clock
+let now_s t = Int64.to_float t.clock *. 1e-9
+
+let schedule t ~delay f =
+  if Int64.compare delay 0L < 0 then invalid_arg "Engine.schedule: negative delay";
+  let ev = { f; cancelled = false } in
+  Pqueue.push t.q (Int64.add t.clock delay) t.seq ev;
+  t.seq <- t.seq + 1;
+  ev
+
+let schedule_s t ~delay_s f =
+  if delay_s < 0.0 then invalid_arg "Engine.schedule_s: negative delay";
+  schedule t ~delay:(Int64.of_float (delay_s *. 1e9)) f
+
+let cancel ev = ev.cancelled <- true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Pqueue.peek_min t.q with
+    | None -> continue := false
+    | Some (time, _, _) ->
+      (match until with
+       | Some limit when Int64.compare time limit > 0 -> continue := false
+       | Some _ | None ->
+         (match Pqueue.pop_min t.q with
+          | None -> continue := false
+          | Some (time, _, ev) ->
+            t.clock <- time;
+            if not ev.cancelled then begin
+              decr budget;
+              t.processed <- t.processed + 1;
+              ev.f ()
+            end))
+  done
+
+let pending t = Pqueue.length t.q
+let processed t = t.processed

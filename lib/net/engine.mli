@@ -1,0 +1,39 @@
+(** Discrete-event simulation core.
+
+    Time is a simulated clock in nanoseconds, advanced only by event
+    processing; wall-clock cost of the crypto operations is charged
+    separately by the processing-cost model in {!Network}. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int64
+(** Current simulated time in nanoseconds. *)
+
+val now_s : t -> float
+(** Current simulated time in seconds. *)
+
+type handle
+
+val schedule : t -> delay:int64 -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
+    non-negative. Events scheduled for the same instant run in scheduling
+    order. *)
+
+val schedule_s : t -> delay_s:float -> (unit -> unit) -> handle
+(** Same with the delay in (fractional) seconds. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-run or already-cancelled event is a no-op. *)
+
+val run : ?until:int64 -> ?max_events:int -> t -> unit
+(** [run t] processes events until the queue is empty, the optional
+    simulated-time bound [until] is passed, or [max_events] have run. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    discarded). *)
+
+val processed : t -> int
+(** Total events executed since creation. *)

@@ -1,0 +1,92 @@
+type stats = {
+  sent_packets : int;
+  sent_bytes : int;
+  dropped_packets : int;
+  dropped_bytes : int;
+  max_queue_bytes : int;
+}
+
+type t = {
+  engine : Engine.t;
+  bandwidth_bps : int;
+  latency : int64;
+  queue_capacity : int;
+  deliver : Packet.t -> unit;
+  mutable queued_bytes : int;
+  mutable busy_until : int64;
+  mutable sent_packets : int;
+  mutable sent_bytes : int;
+  mutable dropped_packets : int;
+  mutable dropped_bytes : int;
+  mutable max_queue_bytes : int;
+}
+
+let create engine ~bandwidth_bps ~latency ?(queue_bytes = 128 * 1024) ~deliver
+    () =
+  if bandwidth_bps <= 0 then invalid_arg "Link.create: bandwidth must be positive";
+  { engine;
+    bandwidth_bps;
+    latency;
+    queue_capacity = queue_bytes;
+    deliver;
+    queued_bytes = 0;
+    busy_until = 0L;
+    sent_packets = 0;
+    sent_bytes = 0;
+    dropped_packets = 0;
+    dropped_bytes = 0;
+    max_queue_bytes = 0
+  }
+
+let transmission_time t bytes =
+  (* ns = bytes * 8 * 1e9 / bandwidth; computed in int64 to avoid
+     overflow on large byte counts. *)
+  Int64.div
+    (Int64.mul (Int64.of_int (bytes * 8)) 1_000_000_000L)
+    (Int64.of_int t.bandwidth_bps)
+
+let send t p =
+  let bytes = Packet.size p in
+  if t.queued_bytes + bytes > t.queue_capacity then begin
+    t.dropped_packets <- t.dropped_packets + 1;
+    t.dropped_bytes <- t.dropped_bytes + bytes;
+    false
+  end
+  else begin
+    let now = Engine.now t.engine in
+    t.queued_bytes <- t.queued_bytes + bytes;
+    if t.queued_bytes > t.max_queue_bytes then
+      t.max_queue_bytes <- t.queued_bytes;
+    let start = if Int64.compare t.busy_until now > 0 then t.busy_until else now in
+    let done_tx = Int64.add start (transmission_time t bytes) in
+    t.busy_until <- done_tx;
+    (* Dequeue at end of serialization; deliver after propagation. *)
+    ignore
+      (Engine.schedule t.engine
+         ~delay:(Int64.sub done_tx now)
+         (fun () ->
+           t.queued_bytes <- t.queued_bytes - bytes;
+           t.sent_packets <- t.sent_packets + 1;
+           t.sent_bytes <- t.sent_bytes + bytes;
+           ignore
+             (Engine.schedule t.engine ~delay:t.latency (fun () ->
+                  t.deliver p))));
+    true
+  end
+
+let stats t =
+  { sent_packets = t.sent_packets;
+    sent_bytes = t.sent_bytes;
+    dropped_packets = t.dropped_packets;
+    dropped_bytes = t.dropped_bytes;
+    max_queue_bytes = t.max_queue_bytes
+  }
+
+let queue_occupancy t = t.queued_bytes
+
+let reset_stats t =
+  t.sent_packets <- 0;
+  t.sent_bytes <- 0;
+  t.dropped_packets <- 0;
+  t.dropped_bytes <- 0;
+  t.max_queue_bytes <- 0

@@ -1,0 +1,36 @@
+(** A unidirectional link: a drop-tail FIFO queue in front of a serializing
+    transmitter, followed by fixed propagation delay.
+
+    A packet of [n] bytes occupies the transmitter for [8n / bandwidth]
+    seconds; packets arriving while the queue holds [queue_bytes] are
+    dropped. This is the standard store-and-forward model, and the place
+    where a discriminatory ISP's delaying/dropping (as opposed to
+    classifying) ultimately takes effect. *)
+
+type t
+
+type stats = {
+  sent_packets : int;
+  sent_bytes : int;
+  dropped_packets : int;
+  dropped_bytes : int;
+  max_queue_bytes : int;
+}
+
+val create :
+  Engine.t ->
+  bandwidth_bps:int ->
+  latency:int64 ->
+  ?queue_bytes:int ->
+  deliver:(Packet.t -> unit) ->
+  unit ->
+  t
+(** [queue_bytes] defaults to 128 KiB. [deliver] fires at the receiving
+    end after serialization and propagation. *)
+
+val send : t -> Packet.t -> bool
+(** [send t p] enqueues [p]; [false] means tail-dropped. *)
+
+val stats : t -> stats
+val queue_occupancy : t -> int
+val reset_stats : t -> unit

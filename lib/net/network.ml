@@ -1,0 +1,186 @@
+type action = Forward | Drop | Delay of int64 | Remark of int
+
+type middleware = Observation.t -> action
+
+type counters = {
+  mutable delivered : int;
+  mutable dropped_no_route : int;
+  mutable dropped_ttl : int;
+  mutable dropped_policy : int;
+  mutable dropped_queue : int;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  route_policy : Routing.policy;
+  mutable routing : Routing.t;
+  links : (int * int, Link.t) Hashtbl.t;
+  handlers : (int, handler) Hashtbl.t;
+  middlewares : (int, middleware list) Hashtbl.t;
+  taps : (int, (Observation.t -> unit) list) Hashtbl.t;
+  busy : (int, int64) Hashtbl.t;
+  ctrs : counters;
+}
+
+and handler = t -> Topology.node_id -> Packet.t -> unit
+
+let engine t = t.engine
+let topology t = t.topo
+let counters t = t.ctrs
+let set_handler t nid h = Hashtbl.replace t.handlers nid h
+
+let add_middleware t did m =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.middlewares did) in
+  Hashtbl.replace t.middlewares did (cur @ [ m ])
+
+let clear_middlewares t did = Hashtbl.remove t.middlewares did
+
+let add_tap t did f =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.taps did) in
+  Hashtbl.replace t.taps did (cur @ [ f ])
+
+let link_between t a b = Hashtbl.find_opt t.links (a, b)
+
+let fire_taps t did p =
+  match Hashtbl.find_opt t.taps did with
+  | None -> ()
+  | Some fs ->
+    let obs = Observation.of_packet ~now:(Engine.now t.engine) p in
+    List.iter (fun f -> f obs) fs
+
+let is_local t (node : Topology.node) (p : Packet.t) =
+  Ipaddr.equal p.dst node.addr
+  || List.mem node.nid (Topology.anycast_members t.topo p.dst)
+
+let deliver t nid p =
+  t.ctrs.delivered <- t.ctrs.delivered + 1;
+  match Hashtbl.find_opt t.handlers nid with
+  | Some h -> h t nid p
+  | None -> ()
+
+(* Run the domain middleware chain; the continuation receives the possibly
+   re-marked packet. Delay re-enters after the pause without re-running
+   the chain (the verdict for this hop has been rendered). *)
+let apply_middlewares t did p k =
+  match Hashtbl.find_opt t.middlewares did with
+  | None | Some [] -> k (Some p)
+  | Some chain ->
+    let obs = Observation.of_packet ~now:(Engine.now t.engine) p in
+    let rec go chain p =
+      match chain with
+      | [] -> k (Some p)
+      | m :: rest ->
+        (match m obs with
+         | Forward -> go rest p
+         | Drop ->
+           t.ctrs.dropped_policy <- t.ctrs.dropped_policy + 1;
+           k None
+         | Delay d ->
+           ignore
+             (Engine.schedule t.engine ~delay:d (fun () -> k (Some p)))
+         | Remark dscp -> go rest { p with Packet.dscp })
+    in
+    go chain p
+
+let rec receive t nid (p : Packet.t) =
+  let node = Topology.node t.topo nid in
+  fire_taps t node.domain p;
+  if is_local t node p then
+    (* Ingress policing: the domain's middleware also covers packets
+       delivered to local nodes (hosts, neutralizer boxes). *)
+    apply_middlewares t node.domain p (function
+      | None -> ()
+      | Some p -> deliver t nid p)
+  else transit t nid p
+
+and transit t nid (p : Packet.t) =
+  let node = Topology.node t.topo nid in
+  match Packet.decrement_ttl p with
+  | None -> t.ctrs.dropped_ttl <- t.ctrs.dropped_ttl + 1
+  | Some p ->
+    apply_middlewares t node.domain p (fun verdict ->
+        match verdict with
+        | None -> ()
+        | Some p -> forward t nid p)
+
+and forward t nid (p : Packet.t) =
+  match Routing.next_hop t.routing t.topo ~from:nid p.dst with
+  | None -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
+  | Some next when next = nid -> deliver t nid p
+  | Some next ->
+    (match Hashtbl.find_opt t.links (nid, next) with
+     | None -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
+     | Some link ->
+       if not (Link.send link p) then
+         t.ctrs.dropped_queue <- t.ctrs.dropped_queue + 1)
+
+let send t ~from p =
+  let node = Topology.node t.topo from in
+  fire_taps t node.domain p;
+  if is_local t node p then deliver t from p
+  else begin
+    match Routing.next_hop t.routing t.topo ~from p.Packet.dst with
+    | None -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
+    | Some next when next = from -> deliver t from p
+    | Some next ->
+      (match Hashtbl.find_opt t.links (from, next) with
+       | None -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
+       | Some link ->
+         if not (Link.send link p) then
+           t.ctrs.dropped_queue <- t.ctrs.dropped_queue + 1)
+  end
+
+let service t nid ~cost k =
+  let now = Engine.now t.engine in
+  let busy = Option.value ~default:0L (Hashtbl.find_opt t.busy nid) in
+  let start = if Int64.compare busy now > 0 then busy else now in
+  let finish = Int64.add start cost in
+  Hashtbl.replace t.busy nid finish;
+  ignore (Engine.schedule t.engine ~delay:(Int64.sub finish now) (fun () -> k ()))
+
+(* Instantiate link objects for any topology edges added since creation,
+   then rebuild the shortest-path tables. *)
+let recompute_routes t =
+  List.iter
+    (fun (e : Topology.edge) ->
+      let ensure a b =
+        if not (Hashtbl.mem t.links (a, b)) then begin
+          let link =
+            Link.create t.engine ~bandwidth_bps:e.bandwidth_bps
+              ~latency:e.latency ~queue_bytes:e.queue_bytes
+              ~deliver:(fun p -> receive t b p)
+              ()
+          in
+          Hashtbl.replace t.links (a, b) link
+        end
+      in
+      ensure e.a e.b;
+      ensure e.b e.a)
+    (Topology.edges t.topo);
+  t.routing <- Routing.compute ~policy:t.route_policy t.topo
+
+let create ?(policy = Routing.Shortest) engine topo =
+  let t =
+    { engine;
+      topo;
+      route_policy = policy;
+      routing = Routing.compute ~policy topo;
+      links = Hashtbl.create 64;
+      handlers = Hashtbl.create 64;
+      middlewares = Hashtbl.create 8;
+      taps = Hashtbl.create 8;
+      busy = Hashtbl.create 16;
+      ctrs =
+        { delivered = 0;
+          dropped_no_route = 0;
+          dropped_ttl = 0;
+          dropped_policy = 0;
+          dropped_queue = 0
+        }
+    }
+  in
+  recompute_routes t;
+  t
+
+let run ?until ?max_events t = Engine.run ?until ?max_events t.engine

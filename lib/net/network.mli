@@ -1,0 +1,78 @@
+(** Runtime network: topology + routing + live links + node behaviour.
+
+    Packets are forwarded hop by hop along shortest paths. At every hop
+    inside a domain the domain's {e middleware} chain runs — this is where
+    a discriminatory ISP classifies, delays, drops or re-marks traffic.
+    Middlewares see only the {!Observation.t} wire view, never simulation
+    metadata, enforcing the §2 threat model by construction: an ISP can
+    eavesdrop, delay and drop, but cannot read minds or modify contents.
+
+    Local delivery happens when a packet reaches a node whose address (or
+    served anycast address) equals the destination; the node's registered
+    handler — host application, neutralizer box logic, DNS server — then
+    owns the packet. *)
+
+type t
+
+type action =
+  | Forward
+  | Drop
+  | Delay of int64  (** extra queueing delay in ns, then forward *)
+  | Remark of int  (** overwrite DSCP (paper §3.4: ISPs may tier by DSCP) *)
+
+type middleware = Observation.t -> action
+
+type handler = t -> Topology.node_id -> Packet.t -> unit
+
+val create : ?policy:Routing.policy -> Engine.t -> Topology.t -> t
+(** Instantiates links from the topology's edges and computes routes
+    ([policy] defaults to [Shortest]; see {!Routing.policy}). *)
+
+val engine : t -> Engine.t
+val topology : t -> Topology.t
+
+val recompute_routes : t -> unit
+(** Call after mutating the topology (e.g. adding a backup link). *)
+
+val set_handler : t -> Topology.node_id -> handler -> unit
+(** Replaces the node's local-delivery behaviour. *)
+
+val add_middleware : t -> Topology.domain_id -> middleware -> unit
+(** Appends to the domain's chain; chains run in registration order and
+    stop at the first non-[Forward] verdict (except [Remark], which
+    applies and continues). The chain runs at every hop inside the
+    domain, including ingress delivery to the domain's own nodes; it does
+    not run at the node that originates a packet. *)
+
+val clear_middlewares : t -> Topology.domain_id -> unit
+
+val add_tap : t -> Topology.domain_id -> (Observation.t -> unit) -> unit
+(** Passive eavesdropping: sees every packet traversing or arriving at any
+    node of the domain. *)
+
+val send : t -> from:Topology.node_id -> Packet.t -> unit
+(** Inject a packet at a node (the node is the packet's origin; no
+    middleware runs for the originating host itself). *)
+
+val service :
+  t -> Topology.node_id -> cost:int64 -> (unit -> unit) -> unit
+(** Single-server processing queue per node: runs the continuation after
+    the node has spent [cost] ns of (serialized) processing time. Models
+    per-packet CPU cost, e.g. the neutralizer's crypto work. *)
+
+type counters = {
+  mutable delivered : int;
+  mutable dropped_no_route : int;
+  mutable dropped_ttl : int;
+  mutable dropped_policy : int;
+  mutable dropped_queue : int;
+}
+
+val counters : t -> counters
+
+val link_between :
+  t -> Topology.node_id -> Topology.node_id -> Link.t option
+(** Directed link [from -> to], when adjacent. *)
+
+val run : ?until:int64 -> ?max_events:int -> t -> unit
+(** Convenience alias for {!Engine.run} on the network's engine. *)

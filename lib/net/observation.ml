@@ -1,0 +1,31 @@
+type t = {
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  protocol : int;
+  dscp : int;
+  ttl : int;
+  src_port : int;
+  dst_port : int;
+  shim : string option;
+  payload : string;
+  size : int;
+  observed_at : int64;
+}
+
+let of_packet ~now (p : Packet.t) =
+  { src = p.src;
+    dst = p.dst;
+    protocol = Packet.protocol_number p.protocol;
+    dscp = p.dscp;
+    ttl = p.ttl;
+    src_port = p.src_port;
+    dst_port = p.dst_port;
+    shim = p.shim;
+    payload = p.payload;
+    size = Packet.size p;
+    observed_at = now
+  }
+
+let pp fmt o =
+  Format.fprintf fmt "[%Ld] %a -> %a proto=%d dscp=%d len=%d" o.observed_at
+    Ipaddr.pp o.src Ipaddr.pp o.dst o.protocol o.dscp o.size

@@ -1,0 +1,74 @@
+type 'a entry = { time : int64; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+let is_empty q = q.len = 0
+let length q = q.len
+
+let less a b =
+  match Int64.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow q entry =
+  let cap = Array.length q.arr in
+  if q.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let narr = Array.make ncap entry in
+    Array.blit q.arr 0 narr 0 q.len;
+    q.arr <- narr
+  end
+
+let push q time seq value =
+  let entry = { time; seq; value } in
+  grow q entry;
+  q.arr.(q.len) <- entry;
+  q.len <- q.len + 1;
+  (* Sift up. *)
+  let i = ref (q.len - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less q.arr.(!i) q.arr.(parent) then begin
+      let tmp = q.arr.(!i) in
+      q.arr.(!i) <- q.arr.(parent);
+      q.arr.(parent) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek_min q =
+  if q.len = 0 then None
+  else begin
+    let e = q.arr.(0) in
+    Some (e.time, e.seq, e.value)
+  end
+
+let pop_min q =
+  if q.len = 0 then None
+  else begin
+    let top = q.arr.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.arr.(0) <- q.arr.(q.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.len && less q.arr.(l) q.arr.(!smallest) then smallest := l;
+        if r < q.len && less q.arr.(r) q.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.arr.(!i) in
+          q.arr.(!i) <- q.arr.(!smallest);
+          q.arr.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.seq, top.value)
+  end

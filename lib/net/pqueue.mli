@@ -1,0 +1,19 @@
+(** A monomorphic-priority binary min-heap used by the event engine.
+
+    Priorities are [(int64 * int)] pairs compared lexicographically: the
+    event timestamp plus an insertion sequence number, which makes the pop
+    order of simultaneous events deterministic (FIFO). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> int64 -> int -> 'a -> unit
+
+(** [pop_min q] removes and returns [(time, seq, value)] with the smallest
+    priority, or [None] when empty. *)
+val pop_min : 'a t -> (int64 * int * 'a) option
+
+(** [peek_min q] like {!pop_min} without removing. *)
+val peek_min : 'a t -> (int64 * int * 'a) option

@@ -1,0 +1,124 @@
+type node_kind = Host | Router | Neutralizer_box
+type domain_id = int
+type node_id = int
+type relationship = Customer | Peer
+
+type domain = {
+  did : domain_id;
+  domain_name : string;
+  prefix : Ipaddr.Prefix.t;
+}
+
+type node = {
+  nid : node_id;
+  kind : node_kind;
+  addr : Ipaddr.t;
+  domain : domain_id;
+  node_name : string;
+}
+
+type edge = {
+  a : node_id;
+  b : node_id;
+  bandwidth_bps : int;
+  latency : int64;
+  queue_bytes : int;
+  rel : relationship option;
+}
+
+type t = {
+  mutable doms : domain list; (* newest first *)
+  mutable next_host : (domain_id, int) Hashtbl.t;
+  mutable nods : node list; (* newest first *)
+  mutable edgs : edge list;
+  by_addr : (Ipaddr.t, node) Hashtbl.t;
+  by_id : (node_id, node) Hashtbl.t;
+  anycast : (Ipaddr.t, node_id list) Hashtbl.t;
+  mutable n_nodes : int;
+  mutable n_domains : int;
+}
+
+let create () =
+  { doms = [];
+    next_host = Hashtbl.create 16;
+    nods = [];
+    edgs = [];
+    by_addr = Hashtbl.create 64;
+    by_id = Hashtbl.create 64;
+    anycast = Hashtbl.create 8;
+    n_nodes = 0;
+    n_domains = 0
+  }
+
+let add_domain t ~name ~prefix =
+  let did = t.n_domains in
+  t.n_domains <- did + 1;
+  let prefix = Ipaddr.Prefix.of_string prefix in
+  t.doms <- { did; domain_name = name; prefix } :: t.doms;
+  Hashtbl.replace t.next_host did 1;
+  did
+
+let domain t did =
+  match List.find_opt (fun d -> d.did = did) t.doms with
+  | Some d -> d
+  | None -> invalid_arg "Topology.domain: unknown domain"
+
+let fresh_address t did =
+  let d = domain t did in
+  let i = Hashtbl.find t.next_host did in
+  Hashtbl.replace t.next_host did (i + 1);
+  Ipaddr.Prefix.nth d.prefix i
+
+let add_node t ~domain:did ~kind ~name =
+  let addr = fresh_address t did in
+  let nid = t.n_nodes in
+  t.n_nodes <- nid + 1;
+  let n = { nid; kind; addr; domain = did; node_name = name } in
+  t.nods <- n :: t.nods;
+  Hashtbl.replace t.by_addr addr n;
+  Hashtbl.replace t.by_id nid n;
+  n
+
+let add_link t a b ~bandwidth_bps ~latency ?(queue_bytes = 128 * 1024) ?rel ()
+    =
+  if a = b then invalid_arg "Topology.add_link: self loop";
+  t.edgs <- { a; b; bandwidth_bps; latency; queue_bytes; rel } :: t.edgs
+
+let register_anycast t addr members =
+  Hashtbl.replace t.anycast addr members
+
+let node t nid =
+  match Hashtbl.find_opt t.by_id nid with
+  | Some n -> n
+  | None -> invalid_arg "Topology.node: unknown node"
+
+let nodes t = List.rev t.nods
+let domains t = List.rev t.doms
+let edges t = List.rev t.edgs
+let node_count t = t.n_nodes
+let node_of_addr t addr = Hashtbl.find_opt t.by_addr addr
+
+let anycast_members t addr =
+  match Hashtbl.find_opt t.anycast addr with
+  | Some l -> l
+  | None -> []
+
+let domain_of_addr t addr =
+  let candidates =
+    List.filter (fun d -> Ipaddr.Prefix.mem addr d.prefix) t.doms
+  in
+  match
+    List.sort
+      (fun d1 d2 ->
+        Stdlib.compare
+          (Ipaddr.Prefix.length d2.prefix)
+          (Ipaddr.Prefix.length d1.prefix))
+      candidates
+  with
+  | d :: _ -> Some d
+  | [] -> None
+
+let in_domain t addr did =
+  match domain_of_addr t addr with
+  | Some d -> d.did = did
+  | None -> false

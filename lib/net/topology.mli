@@ -1,0 +1,92 @@
+(** Static description of the simulated internetwork: domains (ISPs and
+    stub sites), nodes, and the links between them.
+
+    Domains own address prefixes; nodes get addresses carved from their
+    domain's prefix. Anycast groups model the paper's neutralizer service
+    address: "we use an anycast address to represent the neutralizer
+    service of an ISP; all customers of an ISP use the same neutralizer
+    address, regardless of where they are located" (§3). *)
+
+type node_kind = Host | Router | Neutralizer_box
+
+type domain_id = int
+type node_id = int
+
+type relationship = Customer | Peer
+(** Business relationship attached to inter-domain links: [Customer] on a
+    link from provider to customer domain, [Peer] for settlement-free
+    peering. Used by policy code to distinguish "its own customers or
+    peers" (whom the paper's market argument protects) from third
+    parties. *)
+
+type domain = {
+  did : domain_id;
+  domain_name : string;
+  prefix : Ipaddr.Prefix.t;
+}
+
+type node = {
+  nid : node_id;
+  kind : node_kind;
+  addr : Ipaddr.t;
+  domain : domain_id;
+  node_name : string;
+}
+
+type edge = {
+  a : node_id;
+  b : node_id;
+  bandwidth_bps : int;
+  latency : int64;
+  queue_bytes : int;
+  rel : relationship option;  (** [Some] only on inter-domain links *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_domain : t -> name:string -> prefix:string -> domain_id
+(** [add_domain t ~name ~prefix:"10.1.0.0/16"]. *)
+
+val add_node : t -> domain:domain_id -> kind:node_kind -> name:string -> node
+(** Address auto-assigned: next free host address in the domain prefix. *)
+
+val add_link :
+  t ->
+  node_id ->
+  node_id ->
+  bandwidth_bps:int ->
+  latency:int64 ->
+  ?queue_bytes:int ->
+  ?rel:relationship ->
+  unit ->
+  unit
+(** Declares a bidirectional link (two unidirectional channels at
+    instantiation time). *)
+
+val register_anycast : t -> Ipaddr.t -> node_id list -> unit
+(** [register_anycast t addr members] makes [addr] route to the nearest of
+    [members]. Members are typically the domain's neutralizer boxes. *)
+
+val fresh_address : t -> domain_id -> Ipaddr.t
+(** Allocate an address in the domain without creating a node — the pool
+    the QoS dynamic-address feature (§3.4) draws from. *)
+
+val node : t -> node_id -> node
+val nodes : t -> node list
+val domain : t -> domain_id -> domain
+val domains : t -> domain list
+val edges : t -> edge list
+val node_count : t -> int
+
+val node_of_addr : t -> Ipaddr.t -> node option
+(** Unicast lookup; anycast addresses resolve via {!anycast_members}. *)
+
+val anycast_members : t -> Ipaddr.t -> node_id list
+(** Empty when [addr] is not an anycast address. *)
+
+val domain_of_addr : t -> Ipaddr.t -> domain option
+(** The domain whose prefix contains [addr] (longest match first). *)
+
+val in_domain : t -> Ipaddr.t -> domain_id -> bool

@@ -1,0 +1,25 @@
+let memo tbl gen i =
+  match Hashtbl.find_opt tbl i with
+  | Some k -> k
+  | None ->
+    let k = gen i in
+    Hashtbl.replace tbl i k;
+    k
+
+let e2e_tbl : (int, Crypto.Rsa.private_key) Hashtbl.t = Hashtbl.create 8
+let onetime_tbl : (int, Crypto.Rsa.private_key) Hashtbl.t = Hashtbl.create 32
+
+let e2e =
+  memo e2e_tbl (fun i ->
+      Crypto.Rsa.generate ~e:3 ~bits:1024 (Random.State.make [| 0xe2e; i |]))
+
+let onetime =
+  memo onetime_tbl (fun i ->
+      Crypto.Rsa.generate ~e:3 ~bits:512 (Random.State.make [| 0x512; i |]))
+
+let onetime_pool () =
+  let next = ref 0 in
+  fun () ->
+    let i = !next in
+    incr next;
+    onetime i

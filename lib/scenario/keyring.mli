@@ -1,0 +1,18 @@
+(** Deterministic, process-wide cache of RSA key pairs.
+
+    Key generation is by far the most expensive operation in the
+    repository (seconds for RSA-1024), and tests, examples and benches
+    need many identities whose actual key values do not matter — only
+    that they are distinct and stable. Each index is generated once per
+    process from a fixed seed and memoized. *)
+
+val e2e : int -> Crypto.Rsa.private_key
+(** 1024-bit end-to-end identity keys (sites, resolvers, hosts). *)
+
+val onetime : int -> Crypto.Rsa.private_key
+(** 512-bit one-time keys for clients that opt out of per-setup
+    generation. *)
+
+val onetime_pool : unit -> unit -> Crypto.Rsa.private_key
+(** A fresh sequential draw over {!onetime}: each call of the returned
+    thunk yields the next pooled key. *)

@@ -1,0 +1,210 @@
+(* Tests for the adversary's toolkit: classifier, policies, shaping, and
+   the §1 market model. *)
+
+open Discrimination
+
+let obs ?(protocol = Net.Packet.Udp) ?(dscp = 0) ?(src_port = 0)
+    ?(dst_port = 0) ?shim ?(payload = "") () =
+  Net.Observation.of_packet ~now:0L
+    (Net.Packet.make ~protocol ~dscp ~src_port ~dst_port ?shim
+       ~src:(Net.Ipaddr.of_string "10.1.0.2")
+       ~dst:(Net.Ipaddr.of_string "10.2.0.3")
+       payload)
+
+let app = Alcotest.testable Classifier.pp_app_class ( = )
+
+(* ---- classifier ---- *)
+
+let test_classify_ports () =
+  Alcotest.check app "voip port" Classifier.Voip (Classifier.classify (obs ~dst_port:5060 ()));
+  Alcotest.check app "dns" Classifier.Dns_query (Classifier.classify (obs ~dst_port:53 ()));
+  Alcotest.check app "web" Classifier.Web (Classifier.classify (obs ~dst_port:80 ()))
+
+let test_classify_dpi () =
+  Alcotest.check app "sip marker" Classifier.Voip
+    (Classifier.classify (obs ~payload:"INVITE sip:bob SIP/2.0" ()));
+  Alcotest.check app "http marker" Classifier.Web
+    (Classifier.classify (obs ~payload:"GET /index.html" ()))
+
+let test_classify_shim () =
+  let ks = Core.Shim.encode (Core.Shim.Key_setup_request { pubkey = "k" }) in
+  Alcotest.check app "key setup recognizable (3.6)" Classifier.Key_setup
+    (Classifier.classify (obs ~protocol:Net.Packet.Shim ~shim:ks ()));
+  let d =
+    Core.Shim.encode
+      (Core.Shim.Data
+         { epoch = 0;
+           nonce = String.make 8 'n';
+           enc_addr = "aaaa";
+           tag = "tttt";
+           key_request = false;
+           from_customer = false;
+           refresh = None
+         })
+  in
+  Alcotest.check app "data shim is just encrypted" Classifier.Encrypted
+    (Classifier.classify (obs ~protocol:Net.Packet.Shim ~shim:d ()))
+
+let test_entropy () =
+  Alcotest.(check (float 0.01)) "constant" 0.0 (Classifier.payload_entropy (String.make 64 'a'));
+  let random = Crypto.Drbg.generate (Crypto.Drbg.create ~seed:"e") 256 in
+  Alcotest.(check bool) "random is high" true (Classifier.payload_entropy random > 7.0);
+  Alcotest.(check bool) "text is low" true
+    (Classifier.payload_entropy "the quick brown fox jumps over the lazy dog" < 5.0)
+
+let test_looks_encrypted () =
+  let random = Crypto.Drbg.generate (Crypto.Drbg.create ~seed:"e2") 64 in
+  Alcotest.(check bool) "random payload" true (Classifier.looks_encrypted (obs ~payload:random ()));
+  Alcotest.(check bool) "plaintext" false
+    (Classifier.looks_encrypted
+       (obs ~payload:"hello this is an ordinary plain text message ok" ()))
+
+(* ---- policy ---- *)
+
+let test_policy_matchers () =
+  let open Policy in
+  let o = obs ~dscp:46 ~dst_port:5060 ~payload:"x" () in
+  Alcotest.(check bool) "any" true (matches Any o);
+  Alcotest.(check bool) "dscp" true (matches (Dscp 46) o);
+  Alcotest.(check bool) "port" true (matches (Dst_port 5060) o);
+  Alcotest.(check bool) "addr src" true (matches (Addr (Net.Ipaddr.of_string "10.1.0.2")) o);
+  Alcotest.(check bool) "addr other" false (matches (Addr (Net.Ipaddr.of_string "9.9.9.9")) o);
+  Alcotest.(check bool) "src_in" true (matches (Src_in (Net.Ipaddr.Prefix.of_string "10.1.0.0/16")) o);
+  Alcotest.(check bool) "dst_in" true (matches (Dst_in (Net.Ipaddr.Prefix.of_string "10.2.0.0/16")) o);
+  Alcotest.(check bool) "not" false (matches (Not Any) o);
+  Alcotest.(check bool) "all_of" true (matches (All_of [ Dscp 46; Dst_port 5060 ]) o);
+  Alcotest.(check bool) "any_of" true (matches (Any_of [ Dscp 9; Dst_port 5060 ]) o);
+  Alcotest.(check bool) "size" true (matches (Size_at_least 20) o)
+
+let test_policy_first_match_wins () =
+  let open Policy in
+  let p =
+    create
+      [ rule ~label:"allow-ef" (Dscp 46) Allow;
+        rule ~label:"block-voip" (App Classifier.Voip) Block
+      ]
+  in
+  let mw = middleware p in
+  Alcotest.(check bool) "ef voip allowed" true
+    (mw (obs ~dscp:46 ~dst_port:5060 ()) = Net.Network.Forward);
+  Alcotest.(check bool) "plain voip blocked" true
+    (mw (obs ~dst_port:5060 ()) = Net.Network.Drop);
+  Alcotest.(check bool) "unmatched forwards" true
+    (mw (obs ~dst_port:9999 ()) = Net.Network.Forward);
+  Alcotest.(check (list (pair string int))) "hit counting"
+    [ ("allow-ef", 1); ("block-voip", 1) ]
+    (hits p)
+
+let test_policy_actions () =
+  let open Policy in
+  let p =
+    create
+      [ rule (Dscp 1) (Delay_by 5_000_000L);
+        rule (Dscp 2) (Set_dscp 0)
+      ]
+  in
+  let mw = middleware p in
+  Alcotest.(check bool) "delay" true (mw (obs ~dscp:1 ()) = Net.Network.Delay 5_000_000L);
+  Alcotest.(check bool) "remark" true (mw (obs ~dscp:2 ()) = Net.Network.Remark 0)
+
+(* ---- shaper ---- *)
+
+let test_shaper_pass_and_throttle () =
+  let e = Net.Engine.create () in
+  (* 80 kbit/s = 10 kB/s, burst 2 kB *)
+  let s = Shaper.create e ~rate_bps:80_000 ~burst_bytes:2_000 ~max_delay:100_000_000L () in
+  (* Within the burst everything passes. *)
+  for _ = 1 to 10 do
+    match Shaper.decide s ~size:100 with
+    | Net.Network.Forward -> ()
+    | _ -> Alcotest.fail "burst should pass"
+  done;
+  (* Now flood far beyond the rate: must see delays, then drops. *)
+  let delays = ref 0 and drops = ref 0 in
+  for _ = 1 to 200 do
+    match Shaper.decide s ~size:100 with
+    | Net.Network.Delay _ -> incr delays
+    | Net.Network.Drop -> incr drops
+    | Net.Network.Forward | Net.Network.Remark _ -> ()
+  done;
+  Alcotest.(check bool) "some delayed" true (!delays > 0);
+  Alcotest.(check bool) "eventually drops" true (!drops > 0);
+  Alcotest.(check int) "counters agree" !delays (Shaper.delayed s);
+  Alcotest.(check int) "drop counter" !drops (Shaper.dropped s)
+
+let test_shaper_refills_over_time () =
+  let e = Net.Engine.create () in
+  let s = Shaper.create e ~rate_bps:80_000 ~burst_bytes:1_000 () in
+  (* exhaust *)
+  for _ = 1 to 50 do
+    ignore (Shaper.decide s ~size:100)
+  done;
+  (* a second of simulated idle refills the bucket *)
+  ignore (Net.Engine.schedule e ~delay:1_000_000_000L (fun () -> ()));
+  Net.Engine.run e;
+  (match Shaper.decide s ~size:100 with
+   | Net.Network.Forward -> ()
+   | _ -> Alcotest.fail "should pass after refill")
+
+(* ---- market ---- *)
+
+let final ?(neutralized = false) policy =
+  Market.final (Market.run ~neutralized Market.default_params policy)
+
+let test_market_no_discrimination () =
+  let f = final Market.No_discrimination in
+  Alcotest.(check (float 0.02)) "share stable" 0.5 f.discriminator_share;
+  Alcotest.(check (float 0.01)) "innovator keeps users" 1.0 f.innovator_users
+
+let test_market_target_innovator () =
+  let f = final Market.Degrade_innovator in
+  (* the §1 story: inertia protects the ISP, the innovator dies *)
+  Alcotest.(check bool) "share barely moves" true (f.discriminator_share > 0.4);
+  Alcotest.(check bool) "innovator starved" true (f.innovator_users < 0.05);
+  Alcotest.(check bool) "substitute wins" true (f.own_voip_users > 0.9)
+
+let test_market_degrade_everything () =
+  let f = final Market.Degrade_everything in
+  Alcotest.(check bool) "mass churn" true (f.discriminator_share < 0.2)
+
+let test_market_neutralized () =
+  let f = final ~neutralized:true Market.Degrade_innovator in
+  Alcotest.(check (float 0.01)) "innovator survives" 1.0 f.innovator_users;
+  Alcotest.(check bool) "share stable" true (f.discriminator_share > 0.45)
+
+let test_market_determinism () =
+  let a = Market.run Market.default_params Market.Degrade_innovator in
+  let b = Market.run Market.default_params Market.Degrade_innovator in
+  Alcotest.(check bool) "same seed, same run" true (a = b)
+
+let () =
+  Alcotest.run "discrimination"
+    [ ( "classifier",
+        [ Alcotest.test_case "ports" `Quick test_classify_ports;
+          Alcotest.test_case "dpi" `Quick test_classify_dpi;
+          Alcotest.test_case "shim kinds" `Quick test_classify_shim;
+          Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "looks encrypted" `Quick test_looks_encrypted
+        ] );
+      ( "policy",
+        [ Alcotest.test_case "matchers" `Quick test_policy_matchers;
+          Alcotest.test_case "first match wins" `Quick
+            test_policy_first_match_wins;
+          Alcotest.test_case "actions" `Quick test_policy_actions
+        ] );
+      ( "shaper",
+        [ Alcotest.test_case "pass and throttle" `Quick
+            test_shaper_pass_and_throttle;
+          Alcotest.test_case "refills" `Quick test_shaper_refills_over_time
+        ] );
+      ( "market",
+        [ Alcotest.test_case "no discrimination" `Quick
+            test_market_no_discrimination;
+          Alcotest.test_case "target innovator" `Quick
+            test_market_target_innovator;
+          Alcotest.test_case "degrade everything" `Quick
+            test_market_degrade_everything;
+          Alcotest.test_case "neutralized" `Quick test_market_neutralized;
+          Alcotest.test_case "deterministic" `Quick test_market_determinism
+        ] )
+    ]

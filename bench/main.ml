@@ -172,4 +172,12 @@ let () =
     print (run ~duration_s:(if quick then 3.0 else 5.0) ()));
   Experiments.E11_blunt_instruments.(
     print (run ~duration_s:(if quick then 4.0 else 8.0) ()));
-  Experiments.Ablations.(print (run ~min_time:mt ()))
+  Experiments.Ablations.(print (run ~min_time:mt ()));
+  (* Everything above instrumented the global obs registry; dump the
+     whole snapshot next to the timing tables so a bench run leaves a
+     machine-readable measurement artifact behind. *)
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Obs.Export.to_json Obs.Registry.default);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "\nobs metrics snapshot written to BENCH_obs.json"

@@ -5,6 +5,46 @@ let quick_flag =
   let doc = "Shorter measurement windows and smaller workloads." in
   Cmdliner.Arg.(value & flag & info [ "quick" ] ~doc)
 
+let metrics_opt =
+  let doc =
+    "After the run, export every obs metric family (engine, links, \
+     datapath, neutralizer, crypto) as JSON to $(docv)."
+  in
+  Cmdliner.Arg.(
+    value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let write_metrics = function
+  | None -> ()
+  | Some file ->
+    (match open_out file with
+     | exception Sys_error msg ->
+       Printf.eprintf "netneutral: cannot write metrics: %s\n" msg;
+       exit 1
+     | oc ->
+       output_string oc (Obs.Export.to_json Obs.Registry.default);
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "metrics written to %s\n" file)
+
+(* A short end-to-end neutralized exchange on the Fig. 1 world, run only
+   to populate the metric families for `stats` / `--metrics`. *)
+let metrics_workload () =
+  let world = Scenario.World.create () in
+  let client =
+    Scenario.World.make_client world world.Scenario.World.ann_host
+      ~seed:"stats" ()
+  in
+  for i = 1 to 5 do
+    Core.Client.send_to_name client ~name:"google.example" ~app:"web"
+      (Printf.sprintf "probe-%d" i)
+  done;
+  Scenario.World.run world
+
+let run_stats metrics =
+  metrics_workload ();
+  print_string (Obs.Export.to_text Obs.Registry.default);
+  write_metrics metrics
+
 let run_e1 quick =
   Experiments.E1_key_setup.(
     print (run ~min_time:(if quick then 0.1 else 0.5) ()))
@@ -317,11 +357,24 @@ let experiments =
 
 let () =
   let open Cmdliner in
+  let with_metrics f quick metrics =
+    f quick;
+    write_metrics metrics
+  in
   let exp_cmds =
     List.map
       (fun (name, doc, f) ->
-        Cmd.v (Cmd.info name ~doc) Term.(const f $ quick_flag))
+        Cmd.v (Cmd.info name ~doc)
+          Term.(const (with_metrics f) $ quick_flag $ metrics_opt))
       experiments
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Run a short neutralized exchange and print/export the obs \
+            metric registry")
+      Term.(const run_stats $ metrics_opt)
   in
   let demo_cmd =
     Cmd.v
@@ -345,11 +398,27 @@ let () =
          ~doc:"Dump AT&T's packet capture of one neutralized exchange")
       Term.(const trace $ const ())
   in
-  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  (* `netneutral --metrics out.json` with no subcommand is the quickest
+     way to get a measured run: silent workload, JSON out. *)
+  let default =
+    Term.(
+      ret
+        (const (function
+           | Some _ as metrics ->
+             metrics_workload ();
+             write_metrics metrics;
+             `Ok ()
+           | None -> `Help (`Pager, None))
+         $ metrics_opt))
+  in
   let info =
     Cmd.info "netneutral" ~version:"1.0.0"
       ~doc:
         "Reproduction of 'A Technical Approach to Net Neutrality' (HotNets-V \
          2006)"
   in
-  exit (Cmd.eval (Cmd.group ~default info (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: exp_cmds)))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: stats_cmd
+           :: exp_cmds)))

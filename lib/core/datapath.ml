@@ -1,6 +1,18 @@
 let key_len = Protocol.key_len
 let nonce_len = Protocol.nonce_len
 
+(* Datapath functions are pure, so their op counts go to the global
+   registry: family core.datapath.*. *)
+let c_masked = Obs.Registry.counter Obs.Registry.default "core.datapath.addresses_masked"
+let c_unmasked =
+  Obs.Registry.counter Obs.Registry.default "core.datapath.addresses_unmasked"
+let c_unmask_failures =
+  Obs.Registry.counter Obs.Registry.default "core.datapath.unmask_failures"
+let c_grants =
+  Obs.Registry.counter Obs.Registry.default "core.datapath.grants_issued"
+let c_key_setups =
+  Obs.Registry.counter Obs.Registry.default "core.datapath.key_setup_responses"
+
 (* One AES block computed under Ks: the blinding mask for the address
    bytes. Domain-separated from the tag block by the trailing label. *)
 let mask_block ~aes ~epoch ~nonce =
@@ -21,6 +33,7 @@ let blind ~ks ~epoch ~nonce addr =
   let mask = mask_block ~aes ~epoch ~nonce in
   let octets = Net.Ipaddr.to_octets addr in
   let enc = Crypto.Bytes_util.xor octets (String.sub mask 0 4) in
+  Obs.Counter.inc c_masked;
   (enc, tag_of ~aes ~nonce octets)
 
 let expand ~ks =
@@ -28,14 +41,21 @@ let expand ~ks =
   Crypto.Aes.expand_key ks
 
 let unblind_with_schedule ~aes ~epoch ~nonce ~enc_addr ~tag =
-  if String.length enc_addr <> 4 || String.length tag <> Protocol.tag_len then
+  if String.length enc_addr <> 4 || String.length tag <> Protocol.tag_len then begin
+    Obs.Counter.inc c_unmask_failures;
     None
+  end
   else begin
     let mask = mask_block ~aes ~epoch ~nonce in
     let octets = Crypto.Bytes_util.xor enc_addr (String.sub mask 0 4) in
-    if Crypto.Bytes_util.equal_ct tag (tag_of ~aes ~nonce octets) then
+    if Crypto.Bytes_util.equal_ct tag (tag_of ~aes ~nonce octets) then begin
+      Obs.Counter.inc c_unmasked;
       Some (Net.Ipaddr.of_octets octets)
-    else None
+    end
+    else begin
+      Obs.Counter.inc c_unmask_failures;
+      None
+    end
   end
 
 let unblind ~ks ~epoch ~nonce ~enc_addr ~tag =
@@ -55,6 +75,7 @@ let grant_of_plaintext s =
 let fresh_grant ~master ~rng ~src =
   let nonce = rng nonce_len in
   let epoch, ks = Master_key.derive_current master ~nonce ~src in
+  Obs.Counter.inc c_grants;
   (epoch, nonce, ks)
 
 let key_setup_response ~master ~rng ~src ~pubkey_blob =
@@ -65,6 +86,7 @@ let key_setup_response ~master ~rng ~src ~pubkey_blob =
     else begin
       let ((epoch, nonce, ks) as grant) = fresh_grant ~master ~rng ~src in
       let rsa_ct = Crypto.Rsa.encrypt pub ~rng (grant_plaintext epoch nonce ks) in
+      Obs.Counter.inc c_key_setups;
       Some (Shim.encode (Shim.Key_setup_response { rsa_ct }), grant)
     end
 

@@ -48,8 +48,16 @@ let add_customer t prefix = t.customers <- prefix :: t.customers
 let qos_mappings t =
   Hashtbl.fold (fun dyn e acc -> (dyn, e.customer) :: acc) t.qos []
 
+let obs t = Net.Engine.obs (Net.Network.engine t.net)
+
+(* Mirror the counters record into obs metric families
+   (core.neutralizer) so a run's behaviour is exportable without
+   hand-written hooks. *)
+let bump ?labels t name = Obs.Counter.inc (Obs.Registry.counter (obs t) ?labels name)
+
 let reject t reason =
   t.ctrs.rejected <- t.ctrs.rejected + 1;
+  bump t ~labels:[ ("reason", reason) ] "core.neutralizer.rejected";
   match reason with
   | "bad-tag" -> t.ctrs.rejected_bad_tag <- t.ctrs.rejected_bad_tag + 1
   | "unknown-epoch" -> t.ctrs.rejected_epoch <- t.ctrs.rejected_epoch + 1
@@ -66,7 +74,7 @@ let in_own_domain t addr =
 
 (* Key setup (§3.2): one RSA encryption, stateless. *)
 let handle_key_setup t (p : Net.Packet.t) pubkey =
-  Net.Network.service t.net t.node.Net.Topology.nid
+  Net.Network.service ~kind:"key_setup" t.net t.node.Net.Topology.nid
     ~cost:t.config.costs.key_setup (fun () ->
       match t.config.offload_helper with
       | Some helper ->
@@ -76,6 +84,7 @@ let handle_key_setup t (p : Net.Packet.t) pubkey =
             ~src:p.src
         in
         t.ctrs.offloaded <- t.ctrs.offloaded + 1;
+        bump t "core.neutralizer.offloaded";
         let shim =
           Shim.encode
             (Shim.Offload { pubkey; epoch; nonce; key; requester = p.src })
@@ -93,6 +102,7 @@ let handle_key_setup t (p : Net.Packet.t) pubkey =
          | None -> reject t "bad-pubkey"
          | Some (shim, _grant) ->
            t.ctrs.key_setups <- t.ctrs.key_setups + 1;
+           bump t "core.neutralizer.key_setups";
            send t
              (Net.Packet.make ~protocol:Net.Packet.Shim ~shim
                 ~src:t.config.anycast ~dst:p.src ~dscp:p.dscp
@@ -100,7 +110,7 @@ let handle_key_setup t (p : Net.Packet.t) pubkey =
                 ~app:"neutralizer" "")))
 
 let handle_outside_data t (p : Net.Packet.t) (d : Shim.data) =
-  Net.Network.service t.net t.node.Net.Topology.nid
+  Net.Network.service ~kind:"data_forward" t.net t.node.Net.Topology.nid
     ~cost:t.config.costs.data_forward (fun () ->
       match
         Datapath.forward_outside_data ~master:t.config.master
@@ -125,12 +135,13 @@ let handle_outside_data t (p : Net.Packet.t) (d : Shim.data) =
         end
       | Datapath.Forwarded p ->
         t.ctrs.data_forwarded <- t.ctrs.data_forwarded + 1;
+        bump t "core.neutralizer.data_forwarded";
         send t p)
 
 let handle_return t (p : Net.Packet.t) ~epoch ~nonce ~initiator =
   if not (in_own_domain t p.src) then reject t "return-from-outside"
   else
-    Net.Network.service t.net t.node.Net.Topology.nid
+    Net.Network.service ~kind:"data_return" t.net t.node.Net.Topology.nid
       ~cost:t.config.costs.data_return (fun () ->
         match
           Datapath.forward_return_data ~master:t.config.master
@@ -139,6 +150,7 @@ let handle_return t (p : Net.Packet.t) ~epoch ~nonce ~initiator =
         | Datapath.Rejected reason -> reject t reason
         | Datapath.Forwarded p ->
           t.ctrs.data_returned <- t.ctrs.data_returned + 1;
+          bump t "core.neutralizer.data_returned";
           send t p)
 
 let handle_reverse_key t (p : Net.Packet.t) ~outside =
@@ -149,6 +161,7 @@ let handle_reverse_key t (p : Net.Packet.t) ~outside =
         ~src:outside
     in
     t.ctrs.reverse_grants <- t.ctrs.reverse_grants + 1;
+    bump t "core.neutralizer.reverse_grants";
     let shim = Shim.encode (Shim.Reverse_key_response { epoch; nonce; key }) in
     send t
       (Net.Packet.make ~protocol:Net.Packet.Shim ~shim ~src:t.config.anycast
@@ -175,6 +188,7 @@ let handle_qos_request t (p : Net.Packet.t) ~lease =
         expires = Int64.add (Net.Engine.now (engine t)) lease
       };
     t.ctrs.qos_grants <- t.ctrs.qos_grants + 1;
+    bump t "core.neutralizer.qos_grants";
     let shim = Shim.encode (Shim.Qos_address_response { addr = dyn; lease }) in
     send t
       (Net.Packet.make ~protocol:Net.Packet.Shim ~shim ~src:t.config.anycast
@@ -191,9 +205,10 @@ let handle_qos_nat t (p : Net.Packet.t) entry =
     reject t "qos-expired"
   end
   else
-    Net.Network.service t.net t.node.Net.Topology.nid
+    Net.Network.service ~kind:"vanilla_forward" t.net t.node.Net.Topology.nid
       ~cost:t.config.costs.vanilla_forward (fun () ->
         t.ctrs.qos_natted <- t.ctrs.qos_natted + 1;
+        bump t "core.neutralizer.qos_natted";
         send t { p with dst = entry.customer })
 
 let handle t (p : Net.Packet.t) =

@@ -66,8 +66,18 @@ type key = {
          them *)
 }
 
+(* Op counts (family [crypto.aes]): one increment per public operation,
+   cheap enough for the per-packet fast path. *)
+let c_expansions =
+  Obs.Registry.counter Obs.Registry.default "crypto.aes.key_expansions"
+let c_enc_blocks =
+  Obs.Registry.counter Obs.Registry.default "crypto.aes.blocks_encrypted"
+let c_dec_blocks =
+  Obs.Registry.counter Obs.Registry.default "crypto.aes.blocks_decrypted"
+
 let expand_key k =
   if String.length k <> key_size then invalid_arg "Aes.expand_key: need 16 bytes";
+  Obs.Counter.inc c_expansions;
   (* AES-128 expands 4 key words to 44, here packed as 32-bit ints. *)
   let w = Array.make 44 0 in
   for i = 0 to 3 do
@@ -177,6 +187,7 @@ let encrypt_block_reference { rk; _ } block =
 let encrypt_block { rkw; _ } block =
   if String.length block <> block_size then
     invalid_arg "Aes.encrypt_block: need 16 bytes";
+  Obs.Counter.inc c_enc_blocks;
   let word off =
     (Char.code block.[off] lsl 24)
     lor (Char.code block.[off + 1] lsl 16)
@@ -247,6 +258,7 @@ let decrypt_block { rk; _ } block =
   let rk = Lazy.force rk in
   if String.length block <> block_size then
     invalid_arg "Aes.decrypt_block: need 16 bytes";
+  Obs.Counter.inc c_dec_blocks;
   let st = state_of_string block in
   add_round_key st rk.(10);
   inv_shift_rows st;

@@ -2,6 +2,15 @@ module Nat = Bignum.Nat
 module Modular = Bignum.Modular
 module Prime = Bignum.Prime
 
+(* Op counts for the evaluation: family crypto.rsa.* in the global
+   registry. Counted at the public-operation level, not per Montgomery
+   step. *)
+let c_keygens = Obs.Registry.counter Obs.Registry.default "crypto.rsa.keygens"
+let c_encrypts = Obs.Registry.counter Obs.Registry.default "crypto.rsa.encrypts"
+let c_decrypts = Obs.Registry.counter Obs.Registry.default "crypto.rsa.decrypts"
+let c_signs = Obs.Registry.counter Obs.Registry.default "crypto.rsa.signs"
+let c_verifies = Obs.Registry.counter Obs.Registry.default "crypto.rsa.verifies"
+
 type public = { n : Nat.t; e : Nat.t; bits : int }
 
 type private_key = {
@@ -39,7 +48,9 @@ let generate ?(e = 3) ~bits state =
       end
     end
   in
-  attempt ()
+  let key = attempt () in
+  Obs.Counter.inc c_keygens;
+  key
 
 let modulus_bytes pub = (pub.bits + 7) / 8
 let min_pad = 11
@@ -64,6 +75,7 @@ let nonzero_random_bytes rng n =
   Buffer.contents buf
 
 let encrypt pub ~rng msg =
+  Obs.Counter.inc c_encrypts;
   let k = modulus_bytes pub in
   if String.length msg > max_payload pub then
     invalid_arg "Rsa.encrypt: message too long";
@@ -72,6 +84,7 @@ let encrypt pub ~rng msg =
   Nat.to_bytes_be ~len:k (encrypt_raw pub (Nat.of_bytes_be em))
 
 let decrypt priv ct =
+  Obs.Counter.inc c_decrypts;
   let k = modulus_bytes priv.public in
   if String.length ct <> k then None
   else begin
@@ -100,11 +113,13 @@ let emsa pub msg =
   "\x00\x01" ^ String.make pslen '\xff' ^ "\x00" ^ digest_info
 
 let sign priv msg =
+  Obs.Counter.inc c_signs;
   let k = modulus_bytes priv.public in
   let em = emsa priv.public msg in
   Nat.to_bytes_be ~len:k (decrypt_raw priv (Nat.of_bytes_be em))
 
 let verify pub ~msg ~signature =
+  Obs.Counter.inc c_verifies;
   let k = modulus_bytes pub in
   String.length signature = k
   && begin

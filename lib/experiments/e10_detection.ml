@@ -100,3 +100,7 @@ let print r =
            row.reason
          ])
        r.rows)
+;
+  Table.print_obs ~title:"E10 obs: engine + delivery activity"
+    ~prefixes:[ "net.engine."; "net.network.delivered" ]
+    ()

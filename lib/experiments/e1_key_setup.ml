@@ -43,3 +43,7 @@ let print r =
         Table.f2 (r.sources_per_hour /. r.paper_sources_per_hour)
       ]
     ]
+;
+  Table.print_obs ~title:"E1 obs: crypto + datapath activity"
+    ~prefixes:[ "crypto.rsa."; "core.datapath." ]
+    ()

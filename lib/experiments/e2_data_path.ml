@@ -141,3 +141,7 @@ let print r =
         ""
       ]
     ]
+;
+  Table.print_obs ~title:"E2 obs: datapath + AES activity"
+    ~prefixes:[ "core.datapath."; "crypto.aes." ]
+    ()

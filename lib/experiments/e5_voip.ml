@@ -142,3 +142,7 @@ let print r =
            Table.f2 row.mos
          ])
        r.rows)
+;
+  Table.print_obs ~title:"E5 obs: simulated network activity"
+    ~prefixes:[ "net.engine."; "net.network." ]
+    ()

@@ -156,3 +156,7 @@ let print r =
            string_of_int row.flood_dropped_upstream
          ])
        r.rows)
+;
+  Table.print_obs ~title:"E6 obs: neutralizer + drop accounting"
+    ~prefixes:[ "core.neutralizer."; "net.network.dropped" ]
+    ()

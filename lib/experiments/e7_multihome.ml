@@ -166,3 +166,7 @@ let print r =
            Printf.sprintf "%d/%d" row.delivered row.sent
          ])
        r.rows)
+;
+  Table.print_obs ~title:"E7 obs: per-link traffic"
+    ~prefixes:[ "net.link.sent_packets"; "net.link.dropped_packets" ]
+    ()

@@ -23,6 +23,24 @@ let print ~title ~header rows =
   List.iter (fun r -> print_endline (line r)) rows;
   flush stdout
 
+(* Attach the obs registry's view of a run to the report: every metric
+   family under one of [prefixes] (all families when empty), rendered
+   with the same aligned-table style as the result rows. *)
+let print_obs ?(prefixes = []) ~title () =
+  let keep (m : Obs.Export.metric) =
+    prefixes = []
+    || List.exists (fun p -> String.starts_with ~prefix:p m.Obs.Export.name) prefixes
+  in
+  let rows =
+    Obs.Export.snapshot Obs.Registry.default
+    |> List.filter keep
+    |> List.map (fun m ->
+           [ Obs.Export.key_to_string m;
+             Obs.Export.value_summary m.Obs.Export.value
+           ])
+  in
+  if rows <> [] then print ~title ~header:[ "metric"; "value" ] rows
+
 let kops v =
   if v >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
   else if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)

@@ -5,11 +5,40 @@ type t = {
   mutable clock : int64;
   mutable seq : int;
   mutable processed : int;
+  mutable scheduled : int;
+  mutable popped : int;
+  obs : Obs.Registry.t;
+  c_processed : Obs.Counter.t;
+  c_scheduled : Obs.Counter.t;
+  c_cancelled : Obs.Counter.t;
+  g_pending : Obs.Gauge.t;
+  g_ratio : Obs.Gauge.t;
 }
 
 type handle = event
 
-let create () = { q = Pqueue.create (); clock = 0L; seq = 0; processed = 0 }
+let create ?(obs = Obs.Registry.default) () =
+  let t =
+    { q = Pqueue.create ();
+      clock = 0L;
+      seq = 0;
+      processed = 0;
+      scheduled = 0;
+      popped = 0;
+      obs;
+      c_processed = Obs.Registry.counter obs "net.engine.events_processed";
+      c_scheduled = Obs.Registry.counter obs "net.engine.events_scheduled";
+      c_cancelled = Obs.Registry.counter obs "net.engine.events_cancelled";
+      g_pending = Obs.Registry.gauge obs "net.engine.pending";
+      g_ratio = Obs.Registry.gauge obs "net.engine.sim_wall_ratio"
+    }
+  in
+  (* Spans and any clocked instrumentation sharing this registry measure
+     simulated, not wall, time. *)
+  Obs.Registry.set_clock obs (fun () -> t.clock);
+  t
+
+let obs t = t.obs
 let now t = t.clock
 let now_s t = Int64.to_float t.clock *. 1e-9
 
@@ -18,6 +47,8 @@ let schedule t ~delay f =
   let ev = { f; cancelled = false } in
   Pqueue.push t.q (Int64.add t.clock delay) t.seq ev;
   t.seq <- t.seq + 1;
+  t.scheduled <- t.scheduled + 1;
+  Obs.Counter.inc t.c_scheduled;
   ev
 
 let schedule_s t ~delay_s f =
@@ -26,7 +57,18 @@ let schedule_s t ~delay_s f =
 
 let cancel ev = ev.cancelled <- true
 
+let check_invariants t =
+  if Pqueue.length t.q <> t.scheduled - t.popped then
+    invalid_arg "Engine: pending queue inconsistent with scheduled - popped";
+  if t.processed > t.popped then
+    invalid_arg "Engine: processed exceeds events popped";
+  if t.processed > t.scheduled then
+    invalid_arg "Engine: processed exceeds events scheduled";
+  if Int64.compare t.clock 0L < 0 then invalid_arg "Engine: clock negative"
+
 let run ?until ?max_events t =
+  let wall0 = Sys.time () in
+  let sim0 = t.clock in
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue = ref true in
   while !continue && !budget > 0 do
@@ -40,12 +82,22 @@ let run ?until ?max_events t =
           | None -> continue := false
           | Some (time, _, ev) ->
             t.clock <- time;
-            if not ev.cancelled then begin
+            t.popped <- t.popped + 1;
+            if ev.cancelled then Obs.Counter.inc t.c_cancelled
+            else begin
               decr budget;
               t.processed <- t.processed + 1;
+              Obs.Counter.inc t.c_processed;
               ev.f ()
             end))
-  done
+  done;
+  Obs.Gauge.set_int t.g_pending (Pqueue.length t.q);
+  let wall = Sys.time () -. wall0 in
+  let sim_ns = Int64.to_float (Int64.sub t.clock sim0) in
+  if wall > 0.0 && sim_ns > 0.0 then
+    Obs.Gauge.set t.g_ratio (sim_ns /. (wall *. 1e9));
+  check_invariants t
 
 let pending t = Pqueue.length t.q
 let processed t = t.processed
+let scheduled t = t.scheduled

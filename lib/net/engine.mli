@@ -2,11 +2,27 @@
 
     Time is a simulated clock in nanoseconds, advanced only by event
     processing; wall-clock cost of the crypto operations is charged
-    separately by the processing-cost model in {!Network}. *)
+    separately by the processing-cost model in {!Network}.
+
+    The engine owns an {!Obs.Registry.t} (the process-global default
+    unless one is passed to {!create}) and points its clock at simulated
+    time, so spans and clocked metrics recorded anywhere in the stack
+    measure simulation time. It publishes:
+    [net.engine.events_processed], [net.engine.events_scheduled],
+    [net.engine.events_cancelled] (counters), [net.engine.pending]
+    (gauge, sampled when {!run} returns) and
+    [net.engine.sim_wall_ratio] (gauge: simulated ns per wall-clock ns
+    of the last {!run}). *)
 
 type t
 
-val create : unit -> t
+val create : ?obs:Obs.Registry.t -> unit -> t
+(** [obs] defaults to {!Obs.Registry.default}; the registry's clock is
+    pointed at this engine's simulated time. *)
+
+val obs : t -> Obs.Registry.t
+(** The registry this engine (and the network built on it) records
+    into. *)
 
 val now : t -> int64
 (** Current simulated time in nanoseconds. *)
@@ -18,8 +34,9 @@ type handle
 
 val schedule : t -> delay:int64 -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
-    non-negative. Events scheduled for the same instant run in scheduling
-    order. *)
+    non-negative — a negative delay raises [Invalid_argument] rather
+    than being clamped. Events scheduled for the same instant run in
+    scheduling order. *)
 
 val schedule_s : t -> delay_s:float -> (unit -> unit) -> handle
 (** Same with the delay in (fractional) seconds. *)
@@ -29,7 +46,8 @@ val cancel : handle -> unit
 
 val run : ?until:int64 -> ?max_events:int -> t -> unit
 (** [run t] processes events until the queue is empty, the optional
-    simulated-time bound [until] is passed, or [max_events] have run. *)
+    simulated-time bound [until] is passed, or [max_events] have run.
+    Checks {!check_invariants} before returning. *)
 
 val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
@@ -37,3 +55,12 @@ val pending : t -> int
 
 val processed : t -> int
 (** Total events executed since creation. *)
+
+val scheduled : t -> int
+(** Total events ever scheduled since creation. *)
+
+val check_invariants : t -> unit
+(** Raises [Invalid_argument] if the engine's bookkeeping is
+    inconsistent: the queue length must equal scheduled minus popped
+    events, processed events can exceed neither, and the clock must be
+    non-negative. Called automatically at the end of every {!run}. *)

@@ -6,36 +6,63 @@ type stats = {
   max_queue_bytes : int;
 }
 
+(* The running totals live in the engine's obs registry as monotonic
+   counters (family net.link.*, labeled by link); the [stats]/
+   [reset_stats] API is preserved by subtracting the baseline captured
+   at the last reset. *)
 type t = {
   engine : Engine.t;
   bandwidth_bps : int;
   latency : int64;
   queue_capacity : int;
   deliver : Packet.t -> unit;
+  c_sent_packets : Obs.Counter.t;
+  c_sent_bytes : Obs.Counter.t;
+  c_dropped_packets : Obs.Counter.t;
+  c_dropped_bytes : Obs.Counter.t;
+  h_queue : Obs.Histogram.t;
   mutable queued_bytes : int;
   mutable busy_until : int64;
-  mutable sent_packets : int;
-  mutable sent_bytes : int;
-  mutable dropped_packets : int;
-  mutable dropped_bytes : int;
   mutable max_queue_bytes : int;
+  mutable base_sent_packets : int;
+  mutable base_sent_bytes : int;
+  mutable base_dropped_packets : int;
+  mutable base_dropped_bytes : int;
 }
 
-let create engine ~bandwidth_bps ~latency ?(queue_bytes = 128 * 1024) ~deliver
-    () =
+let anon_seq = ref 0
+
+let create engine ~bandwidth_bps ~latency ?(queue_bytes = 128 * 1024) ?label
+    ~deliver () =
   if bandwidth_bps <= 0 then invalid_arg "Link.create: bandwidth must be positive";
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+      incr anon_seq;
+      Printf.sprintf "link-%d" !anon_seq
+  in
+  let obs = Engine.obs engine in
+  let labels = [ ("link", label) ] in
   { engine;
     bandwidth_bps;
     latency;
     queue_capacity = queue_bytes;
     deliver;
+    c_sent_packets = Obs.Registry.counter obs ~labels "net.link.sent_packets";
+    c_sent_bytes = Obs.Registry.counter obs ~labels "net.link.sent_bytes";
+    c_dropped_packets =
+      Obs.Registry.counter obs ~labels "net.link.dropped_packets";
+    c_dropped_bytes = Obs.Registry.counter obs ~labels "net.link.dropped_bytes";
+    h_queue =
+      Obs.Registry.histogram obs ~labels "net.link.queue_occupancy_bytes";
     queued_bytes = 0;
     busy_until = 0L;
-    sent_packets = 0;
-    sent_bytes = 0;
-    dropped_packets = 0;
-    dropped_bytes = 0;
-    max_queue_bytes = 0
+    max_queue_bytes = 0;
+    base_sent_packets = 0;
+    base_sent_bytes = 0;
+    base_dropped_packets = 0;
+    base_dropped_bytes = 0
   }
 
 let transmission_time t bytes =
@@ -48,8 +75,8 @@ let transmission_time t bytes =
 let send t p =
   let bytes = Packet.size p in
   if t.queued_bytes + bytes > t.queue_capacity then begin
-    t.dropped_packets <- t.dropped_packets + 1;
-    t.dropped_bytes <- t.dropped_bytes + bytes;
+    Obs.Counter.inc t.c_dropped_packets;
+    Obs.Counter.add t.c_dropped_bytes bytes;
     false
   end
   else begin
@@ -57,6 +84,7 @@ let send t p =
     t.queued_bytes <- t.queued_bytes + bytes;
     if t.queued_bytes > t.max_queue_bytes then
       t.max_queue_bytes <- t.queued_bytes;
+    Obs.Histogram.add t.h_queue t.queued_bytes;
     let start = if Int64.compare t.busy_until now > 0 then t.busy_until else now in
     let done_tx = Int64.add start (transmission_time t bytes) in
     t.busy_until <- done_tx;
@@ -66,8 +94,8 @@ let send t p =
          ~delay:(Int64.sub done_tx now)
          (fun () ->
            t.queued_bytes <- t.queued_bytes - bytes;
-           t.sent_packets <- t.sent_packets + 1;
-           t.sent_bytes <- t.sent_bytes + bytes;
+           Obs.Counter.inc t.c_sent_packets;
+           Obs.Counter.add t.c_sent_bytes bytes;
            ignore
              (Engine.schedule t.engine ~delay:t.latency (fun () ->
                   t.deliver p))));
@@ -75,18 +103,19 @@ let send t p =
   end
 
 let stats t =
-  { sent_packets = t.sent_packets;
-    sent_bytes = t.sent_bytes;
-    dropped_packets = t.dropped_packets;
-    dropped_bytes = t.dropped_bytes;
+  { sent_packets = Obs.Counter.value t.c_sent_packets - t.base_sent_packets;
+    sent_bytes = Obs.Counter.value t.c_sent_bytes - t.base_sent_bytes;
+    dropped_packets =
+      Obs.Counter.value t.c_dropped_packets - t.base_dropped_packets;
+    dropped_bytes = Obs.Counter.value t.c_dropped_bytes - t.base_dropped_bytes;
     max_queue_bytes = t.max_queue_bytes
   }
 
 let queue_occupancy t = t.queued_bytes
 
 let reset_stats t =
-  t.sent_packets <- 0;
-  t.sent_bytes <- 0;
-  t.dropped_packets <- 0;
-  t.dropped_bytes <- 0;
-  t.max_queue_bytes <- 0
+  t.base_sent_packets <- Obs.Counter.value t.c_sent_packets;
+  t.base_sent_bytes <- Obs.Counter.value t.c_sent_bytes;
+  t.base_dropped_packets <- Obs.Counter.value t.c_dropped_packets;
+  t.base_dropped_bytes <- Obs.Counter.value t.c_dropped_bytes;
+  t.max_queue_bytes <- t.queued_bytes

@@ -5,7 +5,14 @@
     seconds; packets arriving while the queue holds [queue_bytes] are
     dropped. This is the standard store-and-forward model, and the place
     where a discriminatory ISP's delaying/dropping (as opposed to
-    classifying) ultimately takes effect. *)
+    classifying) ultimately takes effect.
+
+    Each link publishes monotonic counters [net.link.sent_packets],
+    [net.link.sent_bytes], [net.link.dropped_packets],
+    [net.link.dropped_bytes] and a [net.link.queue_occupancy_bytes]
+    histogram (sampled at every enqueue) into the engine's obs
+    registry, labeled [link=<label>]. The [stats]/[reset_stats] API is
+    kept as a windowed view over those counters. *)
 
 type t
 
@@ -22,11 +29,13 @@ val create :
   bandwidth_bps:int ->
   latency:int64 ->
   ?queue_bytes:int ->
+  ?label:string ->
   deliver:(Packet.t -> unit) ->
   unit ->
   t
-(** [queue_bytes] defaults to 128 KiB. [deliver] fires at the receiving
-    end after serialization and propagation. *)
+(** [queue_bytes] defaults to 128 KiB. [label] names the link's metric
+    family (defaults to a fresh ["link-N"]). [deliver] fires at the
+    receiving end after serialization and propagation. *)
 
 val send : t -> Packet.t -> bool
 (** [send t p] enqueues [p]; [false] means tail-dropped. *)

@@ -21,6 +21,7 @@ type t = {
   taps : (int, (Observation.t -> unit) list) Hashtbl.t;
   busy : (int, int64) Hashtbl.t;
   ctrs : counters;
+  c_delivered : Obs.Counter.t;
 }
 
 and handler = t -> Topology.node_id -> Packet.t -> unit
@@ -28,6 +29,27 @@ and handler = t -> Topology.node_id -> Packet.t -> unit
 let engine t = t.engine
 let topology t = t.topo
 let counters t = t.ctrs
+
+(* The ad-hoc counters record is kept as the stable API; the same
+   increments are mirrored into the obs registry as labeled families
+   (net.network.delivered, net.network.dropped{reason}). *)
+let drop t reason =
+  (match reason with
+   | `No_route -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
+   | `Ttl -> t.ctrs.dropped_ttl <- t.ctrs.dropped_ttl + 1
+   | `Policy -> t.ctrs.dropped_policy <- t.ctrs.dropped_policy + 1
+   | `Queue -> t.ctrs.dropped_queue <- t.ctrs.dropped_queue + 1);
+  let label =
+    match reason with
+    | `No_route -> "no_route"
+    | `Ttl -> "ttl"
+    | `Policy -> "policy"
+    | `Queue -> "queue"
+  in
+  Obs.Counter.inc
+    (Obs.Registry.counter (Engine.obs t.engine)
+       ~labels:[ ("reason", label) ]
+       "net.network.dropped")
 let set_handler t nid h = Hashtbl.replace t.handlers nid h
 
 let add_middleware t did m =
@@ -55,6 +77,7 @@ let is_local t (node : Topology.node) (p : Packet.t) =
 
 let deliver t nid p =
   t.ctrs.delivered <- t.ctrs.delivered + 1;
+  Obs.Counter.inc t.c_delivered;
   match Hashtbl.find_opt t.handlers nid with
   | Some h -> h t nid p
   | None -> ()
@@ -74,7 +97,7 @@ let apply_middlewares t did p k =
         (match m obs with
          | Forward -> go rest p
          | Drop ->
-           t.ctrs.dropped_policy <- t.ctrs.dropped_policy + 1;
+           drop t `Policy;
            k None
          | Delay d ->
            ignore
@@ -97,7 +120,7 @@ let rec receive t nid (p : Packet.t) =
 and transit t nid (p : Packet.t) =
   let node = Topology.node t.topo nid in
   match Packet.decrement_ttl p with
-  | None -> t.ctrs.dropped_ttl <- t.ctrs.dropped_ttl + 1
+  | None -> drop t `Ttl
   | Some p ->
     apply_middlewares t node.domain p (fun verdict ->
         match verdict with
@@ -106,14 +129,12 @@ and transit t nid (p : Packet.t) =
 
 and forward t nid (p : Packet.t) =
   match Routing.next_hop t.routing t.topo ~from:nid p.dst with
-  | None -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
+  | None -> drop t `No_route
   | Some next when next = nid -> deliver t nid p
   | Some next ->
     (match Hashtbl.find_opt t.links (nid, next) with
-     | None -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
-     | Some link ->
-       if not (Link.send link p) then
-         t.ctrs.dropped_queue <- t.ctrs.dropped_queue + 1)
+     | None -> drop t `No_route
+     | Some link -> if not (Link.send link p) then drop t `Queue)
 
 let send t ~from p =
   let node = Topology.node t.topo from in
@@ -121,17 +142,22 @@ let send t ~from p =
   if is_local t node p then deliver t from p
   else begin
     match Routing.next_hop t.routing t.topo ~from p.Packet.dst with
-    | None -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
+    | None -> drop t `No_route
     | Some next when next = from -> deliver t from p
     | Some next ->
       (match Hashtbl.find_opt t.links (from, next) with
-       | None -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
-       | Some link ->
-         if not (Link.send link p) then
-           t.ctrs.dropped_queue <- t.ctrs.dropped_queue + 1)
+       | None -> drop t `No_route
+       | Some link -> if not (Link.send link p) then drop t `Queue)
   end
 
-let service t nid ~cost k =
+let service ?(kind = "other") t nid ~cost k =
+  (* Per-hop processing-cost charge, broken out by operation kind
+     (crypto op at the neutralizer, vanilla forward, ...). *)
+  Obs.Histogram.add
+    (Obs.Registry.histogram (Engine.obs t.engine)
+       ~labels:[ ("kind", kind) ]
+       "net.network.service_ns")
+    (Int64.to_int cost);
   let now = Engine.now t.engine in
   let busy = Option.value ~default:0L (Hashtbl.find_opt t.busy nid) in
   let start = if Int64.compare busy now > 0 then busy else now in
@@ -146,9 +172,13 @@ let recompute_routes t =
     (fun (e : Topology.edge) ->
       let ensure a b =
         if not (Hashtbl.mem t.links (a, b)) then begin
+          let label =
+            (Topology.node t.topo a).node_name ^ "->"
+            ^ (Topology.node t.topo b).node_name
+          in
           let link =
             Link.create t.engine ~bandwidth_bps:e.bandwidth_bps
-              ~latency:e.latency ~queue_bytes:e.queue_bytes
+              ~latency:e.latency ~queue_bytes:e.queue_bytes ~label
               ~deliver:(fun p -> receive t b p)
               ()
           in
@@ -171,6 +201,8 @@ let create ?(policy = Routing.Shortest) engine topo =
       middlewares = Hashtbl.create 8;
       taps = Hashtbl.create 8;
       busy = Hashtbl.create 16;
+      c_delivered =
+        Obs.Registry.counter (Engine.obs engine) "net.network.delivered";
       ctrs =
         { delivered = 0;
           dropped_no_route = 0;

@@ -55,10 +55,13 @@ val send : t -> from:Topology.node_id -> Packet.t -> unit
     middleware runs for the originating host itself). *)
 
 val service :
-  t -> Topology.node_id -> cost:int64 -> (unit -> unit) -> unit
+  ?kind:string -> t -> Topology.node_id -> cost:int64 -> (unit -> unit) -> unit
 (** Single-server processing queue per node: runs the continuation after
     the node has spent [cost] ns of (serialized) processing time. Models
-    per-packet CPU cost, e.g. the neutralizer's crypto work. *)
+    per-packet CPU cost, e.g. the neutralizer's crypto work. Every charge
+    is recorded in the [net.network.service_ns] histogram, labeled
+    [kind=<kind>] ([kind] defaults to ["other"]) so per-hop processing
+    cost can be broken out by crypto-op kind. *)
 
 type counters = {
   mutable delivered : int;
@@ -69,6 +72,8 @@ type counters = {
 }
 
 val counters : t -> counters
+(** The same totals are mirrored into the engine's obs registry as
+    [net.network.delivered] and [net.network.dropped{reason=...}]. *)
 
 val link_between :
   t -> Topology.node_id -> Topology.node_id -> Link.t option

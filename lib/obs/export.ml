@@ -1,0 +1,425 @@
+type histogram_snapshot = {
+  sub_bits : int;
+  count : int;
+  sum : int;
+  min_value : int;
+  max_value : int;
+  buckets : (int * int) list;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_snapshot
+
+type metric = {
+  name : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+type snapshot = metric list
+
+let snapshot reg =
+  List.map
+    (fun (name, labels, m) ->
+      let value =
+        match (m : Registry.metric) with
+        | Registry.Counter c -> Counter (Counter.value c)
+        | Registry.Gauge g -> Gauge (Gauge.value g)
+        | Registry.Histogram h ->
+          Histogram
+            { sub_bits = Histogram.sub_bits h;
+              count = Histogram.count h;
+              sum = Histogram.sum h;
+              min_value = Histogram.min_value h;
+              max_value = Histogram.max_value h;
+              buckets = Histogram.buckets h
+            }
+      in
+      { name; labels; value })
+    (Registry.metrics reg)
+
+let key_to_string m =
+  match m.labels with
+  | [] -> m.name
+  | ls ->
+    m.name ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+    ^ "}"
+
+let hist_quantile hs q =
+  (* Same estimator as Histogram.quantile, over the exported state. *)
+  if hs.count = 0 then nan
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int hs.count))) in
+    let rec go cum = function
+      | [] -> float_of_int hs.max_value
+      | (i, c) :: rest ->
+        if cum + c >= rank then begin
+          let lo, hi = Histogram.bounds_of_index ~sub_bits:hs.sub_bits i in
+          Float.min
+            (float_of_int hs.max_value)
+            (Float.max (float_of_int hs.min_value)
+               (float_of_int (lo + hi) /. 2.0))
+        end
+        else go (cum + c) rest
+    in
+    go 0 hs.buckets
+  end
+
+let value_summary = function
+  | Counter v -> string_of_int v
+  | Gauge v -> Printf.sprintf "%g" v
+  | Histogram hs ->
+    if hs.count = 0 then "n=0"
+    else
+      Printf.sprintf "n=%d mean=%.1f p50=%.0f p99=%.0f max=%d" hs.count
+        (float_of_int hs.sum /. float_of_int hs.count)
+        (hist_quantile hs 0.5) (hist_quantile hs 0.99) hs.max_value
+
+(* ---- JSON writer ---- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_to_json f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else
+    (* %.17g round-trips every finite float through float_of_string *)
+    Printf.sprintf "%.17g" f
+
+let json_of_snapshot snap =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"metrics\":[";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"name\":";
+      escape_string b m.name;
+      if m.labels <> [] then begin
+        Buffer.add_string b ",\"labels\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char b ',';
+            escape_string b k;
+            Buffer.add_char b ':';
+            escape_string b v)
+          m.labels;
+        Buffer.add_char b '}'
+      end;
+      (match m.value with
+       | Counter v ->
+         Buffer.add_string b ",\"type\":\"counter\",\"value\":";
+         Buffer.add_string b (string_of_int v)
+       | Gauge v ->
+         Buffer.add_string b ",\"type\":\"gauge\",\"value\":";
+         if Float.is_finite v then Buffer.add_string b (float_to_json v)
+         else Buffer.add_string b "null"
+       | Histogram hs ->
+         Buffer.add_string b
+           (Printf.sprintf
+              ",\"type\":\"histogram\",\"sub_bits\":%d,\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":["
+              hs.sub_bits hs.count hs.sum hs.min_value hs.max_value);
+         List.iteri
+           (fun j (idx, c) ->
+             if j > 0 then Buffer.add_char b ',';
+             Buffer.add_string b (Printf.sprintf "[%d,%d]" idx c))
+           hs.buckets;
+         Buffer.add_char b ']');
+      Buffer.add_char b '}')
+    snap;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let to_json reg = json_of_snapshot (snapshot reg)
+
+(* ---- JSON reader (minimal, zero-dependency) ---- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jint of int
+  | Jfloat of float
+  | Jstring of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Parse_error
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise Parse_error in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c = if peek () <> c then raise Parse_error else advance () in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else raise Parse_error
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        let e = peek () in
+        advance ();
+        (match e with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+           if !pos + 4 > n then raise Parse_error;
+           let hex = String.sub s !pos 4 in
+           pos := !pos + 4;
+           let code =
+             try int_of_string ("0x" ^ hex) with _ -> raise Parse_error
+           in
+           (* Only BMP codepoints below 0x80 are emitted by our writer;
+              decode others as UTF-8. *)
+           if code < 0x80 then Buffer.add_char b (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+           end
+           else begin
+             Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+           end
+         | _ -> raise Parse_error);
+        go ()
+      | c -> Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' -> true
+      | '.' | 'e' | 'E' ->
+        is_float := true;
+        true
+      | _ -> false
+    do
+      incr pos
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if tok = "" then raise Parse_error;
+    if !is_float then
+      match float_of_string_opt tok with
+      | Some f -> Jfloat f
+      | None -> raise Parse_error
+    else
+      match int_of_string_opt tok with
+      | Some i -> Jint i
+      | None ->
+        (match float_of_string_opt tok with
+         | Some f -> Jfloat f
+         | None -> raise Parse_error)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            Jobj (List.rev ((k, v) :: acc))
+          | _ -> raise Parse_error
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Jlist []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            Jlist (List.rev (v :: acc))
+          | _ -> raise Parse_error
+        in
+        elements []
+      end
+    | '"' -> Jstring (parse_string ())
+    | 't' -> literal "true" (Jbool true)
+    | 'f' -> literal "false" (Jbool false)
+    | 'n' -> literal "null" Jnull
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise Parse_error;
+  v
+
+let field name = function
+  | Jobj members -> List.assoc_opt name members
+  | _ -> None
+
+let as_int = function
+  | Jint i -> i
+  | _ -> raise Parse_error
+
+let metric_of_json j =
+  let name =
+    match field "name" j with Some (Jstring s) -> s | _ -> raise Parse_error
+  in
+  let labels =
+    match field "labels" j with
+    | None -> []
+    | Some (Jobj members) ->
+      List.map
+        (function k, Jstring v -> (k, v) | _ -> raise Parse_error)
+        members
+    | Some _ -> raise Parse_error
+  in
+  let value =
+    match field "type" j with
+    | Some (Jstring "counter") ->
+      (match field "value" j with
+       | Some (Jint v) -> Counter v
+       | _ -> raise Parse_error)
+    | Some (Jstring "gauge") ->
+      (match field "value" j with
+       | Some (Jint v) -> Gauge (float_of_int v)
+       | Some (Jfloat v) -> Gauge v
+       | Some Jnull -> Gauge nan
+       | _ -> raise Parse_error)
+    | Some (Jstring "histogram") ->
+      let get k = match field k j with Some v -> as_int v | None -> raise Parse_error in
+      let buckets =
+        match field "buckets" j with
+        | Some (Jlist l) ->
+          List.map
+            (function
+              | Jlist [ i; c ] -> (as_int i, as_int c)
+              | _ -> raise Parse_error)
+            l
+        | _ -> raise Parse_error
+      in
+      Histogram
+        { sub_bits = get "sub_bits";
+          count = get "count";
+          sum = get "sum";
+          min_value = get "min";
+          max_value = get "max";
+          buckets
+        }
+    | _ -> raise Parse_error
+  in
+  { name; labels; value }
+
+let snapshot_of_json s =
+  match parse_json s with
+  | exception Parse_error -> None
+  | j ->
+    (match field "metrics" j with
+     | Some (Jlist ms) ->
+       (try Some (List.map metric_of_json ms) with Parse_error -> None)
+     | _ -> None)
+
+(* ---- text table ---- *)
+
+let kind_of = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let to_table reg =
+  List.map
+    (fun m -> [ key_to_string m; kind_of m.value; value_summary m.value ])
+    (snapshot reg)
+
+let to_text reg =
+  let header = [ "metric"; "kind"; "value" ] in
+  let rows = to_table reg in
+  let all = header :: rows in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        max acc (String.length (try List.nth row c with _ -> "")))
+      0 all
+  in
+  let widths = List.init (List.length header) width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           cell ^ String.make (w - String.length cell) ' ')
+         row)
+    |> String.trim
+    |> fun s -> s ^ "\n"
+  in
+  String.concat ""
+    (line header
+     :: (String.concat "  " (List.map (fun w -> String.make w '-') widths)
+         ^ "\n")
+     :: List.map line rows)

@@ -1,0 +1,50 @@
+(** Exporters: JSON (machine-readable, round-trippable) and an aligned
+    text table (human-readable). Both operate on an immutable snapshot
+    of a registry, so a live simulation can keep mutating while a
+    snapshot is serialized. *)
+
+type histogram_snapshot = {
+  sub_bits : int;
+  count : int;
+  sum : int;
+  min_value : int;
+  max_value : int;
+  buckets : (int * int) list;  (** (bucket index, count), increasing index *)
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_snapshot
+
+type metric = {
+  name : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+type snapshot = metric list
+
+val snapshot : Registry.t -> snapshot
+(** Copy of the current state, sorted by (name, labels). *)
+
+val key_to_string : metric -> string
+(** [name{k=v,...}], or just [name] when unlabeled. *)
+
+val value_summary : value -> string
+(** One-line rendering: counter/gauge value, or histogram
+    [n=... mean=... p50=... p99=... max=...]. *)
+
+val json_of_snapshot : snapshot -> string
+val to_json : Registry.t -> string
+
+val snapshot_of_json : string -> snapshot option
+(** Inverse of {!json_of_snapshot}: [snapshot_of_json (json_of_snapshot s)]
+    is [Some s] for any snapshot whose gauge values are finite. Returns
+    [None] on malformed input. *)
+
+val to_table : Registry.t -> string list list
+(** Rows [metric; kind; value] for embedding in a report table. *)
+
+val to_text : Registry.t -> string
+(** Aligned text table of the whole registry. *)

@@ -1,0 +1,7 @@
+type t = { mutable v : float }
+
+let create () = { v = 0.0 }
+let set t v = t.v <- v
+let add t d = t.v <- t.v +. d
+let set_int t v = t.v <- float_of_int v
+let value t = t.v

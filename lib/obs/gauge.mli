@@ -1,0 +1,10 @@
+(** An instantaneous value that can move in both directions (queue depth,
+    ratio, occupancy). *)
+
+type t
+
+val create : unit -> t
+val set : t -> float -> unit
+val add : t -> float -> unit
+val set_int : t -> int -> unit
+val value : t -> float

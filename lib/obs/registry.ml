@@ -1,0 +1,61 @@
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+type key = string * (string * string) list
+
+type t = {
+  tbl : (key, metric) Hashtbl.t;
+  mutable clock : unit -> int64;
+  mutable stack : string list;
+}
+
+let create ?(clock = fun () -> 0L) () =
+  { tbl = Hashtbl.create 64; clock; stack = [] }
+
+let default = create ()
+let set_clock t f = t.clock <- f
+let now t = t.clock ()
+
+let canonical_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Obs.Registry: %S already registered as another kind" name)
+
+let resolve t name labels make unwrap =
+  let key = (name, canonical_labels labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some m -> unwrap m
+  | None ->
+    let m = make () in
+    Hashtbl.replace t.tbl key m;
+    unwrap m
+
+let counter t ?(labels = []) name =
+  resolve t name labels
+    (fun () -> Counter (Counter.create ()))
+    (function Counter c -> c | _ -> kind_error name)
+
+let gauge t ?(labels = []) name =
+  resolve t name labels
+    (fun () -> Gauge (Gauge.create ()))
+    (function Gauge g -> g | _ -> kind_error name)
+
+let histogram t ?sub_bits ?(labels = []) name =
+  resolve t name labels
+    (fun () -> Histogram (Histogram.create ?sub_bits ()))
+    (function Histogram h -> h | _ -> kind_error name)
+
+let metrics t =
+  Hashtbl.fold (fun (name, labels) m acc -> (name, labels, m) :: acc) t.tbl []
+  |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.stack <- []
+
+let span_stack t = t.stack
+let set_span_stack t s = t.stack <- s

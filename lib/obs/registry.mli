@@ -1,0 +1,51 @@
+(** A registry of labeled metric families.
+
+    Metrics are addressed by a family name (convention:
+    [layer.component.metric], e.g. [net.link.sent_packets]) plus an
+    optional label set; asking twice for the same (name, labels) pair
+    returns the same instance, so instrumented code can either hold the
+    instance or re-resolve it. A name registered as one kind cannot be
+    re-registered as another.
+
+    The registry also carries the clock that {!Span} measures against —
+    in the simulator, the event engine points it at simulated time. *)
+
+type t
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+val create : ?clock:(unit -> int64) -> unit -> t
+(** [clock] defaults to a constant [0L] (set one with {!set_clock}). *)
+
+val default : t
+(** The process-global registry. Instrumentation in the simulator,
+    neutralizer datapath and crypto layers records here unless told
+    otherwise. *)
+
+val set_clock : t -> (unit -> int64) -> unit
+val now : t -> int64
+
+val counter : t -> ?labels:(string * string) list -> string -> Counter.t
+val gauge : t -> ?labels:(string * string) list -> string -> Gauge.t
+
+val histogram :
+  t -> ?sub_bits:int -> ?labels:(string * string) list -> string -> Histogram.t
+(** [sub_bits] only applies when the histogram is first created. *)
+
+val metrics : t -> (string * (string * string) list * metric) list
+(** All registered metrics, sorted by name then labels. Labels are
+    stored sorted by key. *)
+
+val clear : t -> unit
+(** Drop every metric (the clock is kept). Useful to isolate a
+    measurement run; individual counters never decrease, but a cleared
+    registry starts fresh families. *)
+
+(**/**)
+
+(* Span-stack plumbing for {!Span}; not for general use. *)
+val span_stack : t -> string list
+val set_span_stack : t -> string list -> unit

@@ -1,0 +1,19 @@
+let with_ ?(registry = Registry.default) ~name f =
+  let outer = Registry.span_stack registry in
+  let path =
+    match outer with
+    | [] -> name
+    | _ -> String.concat "/" (List.rev (name :: outer))
+  in
+  Registry.set_span_stack registry (name :: outer);
+  let t0 = Registry.now registry in
+  Fun.protect
+    ~finally:(fun () ->
+      Registry.set_span_stack registry outer;
+      let dt = Int64.to_int (Int64.sub (Registry.now registry) t0) in
+      let labels = [ ("name", path) ] in
+      Histogram.add
+        (Registry.histogram registry ~labels "span.duration_ns")
+        (max 0 dt);
+      Counter.inc (Registry.counter registry ~labels "span.calls"))
+    f

@@ -1,0 +1,13 @@
+(** Lightweight spans: named, nestable duration measurements.
+
+    A span measures the registry clock (simulated time when the event
+    engine owns the registry) across a function call and records it into
+    two families: [span.duration_ns] (histogram) and [span.calls]
+    (counter), both labeled [name=<path>] where [<path>] is the
+    [/]-joined chain of enclosing span names — nesting
+    [with_ ~name:"a" (fun () -> with_ ~name:"b" ...)] records under
+    ["a"] and ["a/b"]. *)
+
+val with_ : ?registry:Registry.t -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f], recording its duration even if it raises.
+    [registry] defaults to {!Registry.default}. *)

@@ -149,6 +149,50 @@ let properties =
         && N.compare a (N.shift_left N.one (l - 1)) >= 0)
   ]
 
+(* ---- division across widths (Knuth D stress) ---- *)
+
+(* Wide operands with runs of 0xff/0x80/0x00 bytes: the shapes that
+   force Algorithm D's qhat overestimate and the rare add-back step.
+   Up to 128 bytes (1024 bits), well past every width the repo uses. *)
+let gen_wide_nat =
+  let open QCheck2.Gen in
+  let edge_byte = oneofl [ '\x00'; '\x01'; '\x7f'; '\x80'; '\xfe'; '\xff' ] in
+  let* len = int_range 1 128 in
+  let* s = string_size ~gen:(oneof [ edge_byte; edge_byte; char ]) (return len) in
+  return (N.of_bytes_be s)
+
+let divmod_invariant a b =
+  let q, r = N.divmod a b in
+  N.equal a (N.add (N.mul q b) r) && N.compare r b < 0
+
+let division_props =
+  [ prop "divmod invariant, wide operands"
+      QCheck2.Gen.(tup2 gen_wide_nat gen_wide_nat)
+      print_pair
+      (fun (a, b) ->
+        QCheck2.assume (not (N.is_zero b));
+        divmod_invariant a b);
+    (* Divisors built from the dividend's own high bits make the trial
+       quotient digit land on the base-1 boundary. *)
+    prop "divmod invariant, near-degenerate divisors"
+      QCheck2.Gen.(tup2 gen_wide_nat (int_range 0 64))
+      (fun (a, k) -> N.to_string a ^ " >> " ^ string_of_int k)
+      (fun (a, k) ->
+        QCheck2.assume (N.bit_length a > k + 1);
+        let high = N.shift_right a k in
+        QCheck2.assume (not (N.is_zero high));
+        divmod_invariant a high
+        && divmod_invariant a (N.add high N.one)
+        && (N.equal high N.one || divmod_invariant a (N.sub high N.one)));
+    prop "rem consistent with divmod"
+      QCheck2.Gen.(tup2 gen_wide_nat gen_wide_nat)
+      print_pair
+      (fun (a, b) ->
+        QCheck2.assume (not (N.is_zero b));
+        let _, r = N.divmod a b in
+        N.equal r (N.rem a b))
+  ]
+
 (* ---- modular ---- *)
 
 let test_pow_mod_vs_naive () =
@@ -203,6 +247,18 @@ let test_egcd_bezout () =
       Alcotest.(check bool) "g | b" true (N.is_zero (N.rem b g))
     end
   done
+
+let modular_props =
+  [ prop "pow_mod matches naive repeated multiplication"
+      QCheck2.Gen.(tup3 (int_bound 500) (int_bound 24) (int_range 2 10_000))
+      (fun (b, e, m) -> Printf.sprintf "%d^%d mod %d" b e m)
+      (fun (b, e, m) ->
+        let naive = ref 1 in
+        for _ = 1 to e do
+          naive := !naive * b mod m
+        done;
+        N.to_int (M.pow_mod (N.of_int b) (N.of_int e) (N.of_int m)) = !naive)
+  ]
 
 (* ---- montgomery ---- *)
 
@@ -273,6 +329,37 @@ let test_generate () =
   Alcotest.(check bool) "p-1 coprime 3" true
     (N.equal (M.gcd (N.pred q) e) N.one)
 
+(* Known primes spanning the widths the repo cares about: small, the
+   RSA public exponent, a Mersenne prime and the curve25519 prime. *)
+let known_primes =
+  List.map N.of_int [ 2; 3; 5; 541; 7919; 104729; 65537 ]
+  @ List.map N.of_hex
+      [ "1fffffffffffffff" (* 2^61 - 1 *);
+        "7fffffffffffffffffffffffffffffff" (* 2^127 - 1 *);
+        "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed"
+        (* 2^255 - 19 *)
+      ]
+
+(* Carmichael numbers and strong pseudoprimes to small bases; with 24
+   random-base rounds a false accept has probability below 4^-24. *)
+let known_composites =
+  List.map N.of_int
+    [ 561; 1105; 6601; 8911; 2047; 3277; 1373653 ]
+  @ [ N.mul (N.of_hex "7fffffffffffffffffffffffffffffff") (N.of_int 3) ]
+
+let prime_props =
+  [ prop "miller-rabin never rejects a known prime"
+      QCheck2.Gen.(tup2 (oneofl known_primes) (int_bound 1_000_000))
+      (fun (p, seed) -> N.to_string p ^ " seed=" ^ string_of_int seed)
+      (fun (p, seed) ->
+        P.is_probable_prime p (Random.State.make [| seed |]));
+    prop "miller-rabin never accepts a known composite"
+      QCheck2.Gen.(tup2 (oneofl known_composites) (int_bound 1_000_000))
+      (fun (c, seed) -> N.to_string c ^ " seed=" ^ string_of_int seed)
+      (fun (c, seed) ->
+        not (P.is_probable_prime c (Random.State.make [| seed |])))
+  ]
+
 let () =
   Alcotest.run "bignum"
     [ ( "nat-unit",
@@ -288,17 +375,20 @@ let () =
           Alcotest.test_case "random bounds" `Quick test_random_bounds
         ] );
       ("nat-properties", properties);
+      ("division-properties", division_props);
       ( "modular",
         [ Alcotest.test_case "pow_mod vs naive" `Quick test_pow_mod_vs_naive;
           Alcotest.test_case "pow_mod edges" `Quick test_pow_mod_edges;
           Alcotest.test_case "inverse" `Quick test_inverse;
           Alcotest.test_case "egcd bezout" `Quick test_egcd_bezout
-        ] );
+        ]
+        @ modular_props );
       ( "montgomery",
         Alcotest.test_case "rsa-sized agreement" `Slow test_montgomery_rsa_sized
         :: montgomery_props );
       ( "prime",
         [ Alcotest.test_case "small primes" `Quick test_small_primes;
           Alcotest.test_case "generate" `Slow test_generate
-        ] )
+        ]
+        @ prime_props )
     ]

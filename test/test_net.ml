@@ -130,7 +130,41 @@ let test_engine_negative_delay () =
   let e = Engine.create () in
   Alcotest.check_raises "negative"
     (Invalid_argument "Engine.schedule: negative delay") (fun () ->
-      ignore (Engine.schedule e ~delay:(-1L) (fun () -> ())))
+      ignore (Engine.schedule e ~delay:(-1L) (fun () -> ())));
+  Alcotest.check_raises "negative seconds"
+    (Invalid_argument "Engine.schedule_s: negative delay") (fun () ->
+      ignore (Engine.schedule_s e ~delay_s:(-0.5) (fun () -> ())));
+  Alcotest.(check int) "rejection scheduled nothing" 0 (Engine.scheduled e)
+
+let test_engine_invariants () =
+  (* A private registry keeps this test's numbers unpolluted by (and
+     from polluting) the rest of the suite. *)
+  let obs = Obs.Registry.create () in
+  let e = Engine.create ~obs () in
+  Engine.check_invariants e;
+  let ran = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(Int64.of_int i) (fun () -> incr ran))
+  done;
+  let doomed = Engine.schedule e ~delay:5L (fun () -> incr ran) in
+  Engine.cancel doomed;
+  Engine.check_invariants e;
+  Alcotest.(check int) "pending includes cancelled" 11 (Engine.pending e);
+  Engine.run ~until:4L e;
+  Engine.check_invariants e;
+  Alcotest.(check int) "partial run" 4 !ran;
+  Engine.run e;
+  Alcotest.(check int) "cancelled not executed" 10 !ran;
+  Alcotest.(check int) "processed" 10 (Engine.processed e);
+  Alcotest.(check int) "scheduled" 11 (Engine.scheduled e);
+  Alcotest.(check int) "drained" 0 (Engine.pending e);
+  (* The obs mirror agrees with the engine's own bookkeeping. *)
+  let ctr name = Obs.Counter.value (Obs.Registry.counter obs name) in
+  Alcotest.(check int) "obs processed" 10 (ctr "net.engine.events_processed");
+  Alcotest.(check int) "obs scheduled" 11 (ctr "net.engine.events_scheduled");
+  Alcotest.(check int) "obs cancelled" 1 (ctr "net.engine.events_cancelled");
+  (* The registry clock is the simulated clock. *)
+  Alcotest.(check int64) "registry clock" (Engine.now e) (Obs.Registry.now obs)
 
 (* ---- Link ---- *)
 
@@ -580,7 +614,9 @@ let () =
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "until" `Quick test_engine_until;
           Alcotest.test_case "nested" `Quick test_engine_nested;
-          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+          Alcotest.test_case "invariants and obs mirror" `Quick
+            test_engine_invariants
         ] );
       ( "link",
         [ Alcotest.test_case "timing" `Quick test_link_timing;

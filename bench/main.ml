@@ -172,7 +172,26 @@ let () =
     print (run ~duration_s:(if quick then 3.0 else 5.0) ()));
   Experiments.E11_blunt_instruments.(
     print (run ~duration_s:(if quick then 4.0 else 8.0) ()));
+  let chaos =
+    Experiments.E12_chaos.run ~duration_s:(if quick then 10.0 else 30.0) ()
+  in
+  Experiments.E12_chaos.print chaos;
   Experiments.Ablations.(print (run ~min_time:mt ()));
+  (* Recovery-latency quantiles as their own artifact: the chaos numbers
+     are the robustness contract (how long a crash of the nearest
+     neutralizer is visible to a client), tracked release over release. *)
+  let q p = Int64.to_float (Experiments.E12_chaos.quantile p chaos.recoveries_ns) in
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    "{\"seed\": %d, \"crashes\": %d, \"sent\": %d, \"delivered\": %d, \
+     \"lost_until_rehome\": %d, \"recovery_ns\": {\"n\": %d, \"p50\": %.0f, \
+     \"p90\": %.0f, \"p95\": %.0f, \"p99\": %.0f, \"max\": %.0f}}\n"
+    chaos.seed chaos.crashes chaos.sent chaos.delivered
+    chaos.lost_until_rehome
+    (List.length chaos.recoveries_ns)
+    (q 0.50) (q 0.90) (q 0.95) (q 0.99) (q 1.0);
+  close_out oc;
+  print_endline "\nchaos recovery quantiles written to BENCH_chaos.json";
   (* Everything above instrumented the global obs registry; dump the
      whole snapshot next to the timing tables so a bench run leaves a
      machine-readable measurement artifact behind. *)

@@ -88,6 +88,10 @@ let run_e11 quick =
   Experiments.E11_blunt_instruments.(
     print (run ~duration_s:(if quick then 4.0 else 8.0) ()))
 
+let run_e12 quick =
+  Experiments.E12_chaos.(
+    print (run ~duration_s:(if quick then 10.0 else 30.0) ()))
+
 let run_ablations quick =
   Experiments.Ablations.(
     print (run ~min_time:(if quick then 0.1 else 0.4) ()))
@@ -104,6 +108,7 @@ let run_all quick =
   run_e9 quick;
   run_e10 quick;
   run_e11 quick;
+  run_e12 quick;
   run_ablations quick
 
 let demo () =
@@ -339,6 +344,49 @@ let fig2 () =
       | _ -> failwith "no refresh stamped"));
   print_endline line
 
+(* `netneutral chaos`: run a fault plan (from a file, or the default
+   neutralizer-1 flap) against the Figure-1 world with a steady flow,
+   and print the recovery histogram straight from the obs registry. *)
+let run_chaos quick seed plan_file =
+  let plan =
+    match plan_file with
+    | None -> Experiments.E12_chaos.default_plan
+    | Some file ->
+      let text =
+        match open_in file with
+        | exception Sys_error msg ->
+          Printf.eprintf "netneutral: cannot read plan: %s\n" msg;
+          exit 1
+        | ic ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+      in
+      (match Fault.Plan.parse text with
+       | Ok plan -> plan
+       | Error msg ->
+         Printf.eprintf "netneutral: bad fault plan %s: %s\n" file msg;
+         exit 1)
+  in
+  let r =
+    (* A plan can be well-formed yet name nodes the Fig. 1 world does
+       not have; E12 rejects it when scheduling. *)
+    match
+      Experiments.E12_chaos.run ?seed ~plan
+        ~duration_s:(if quick then 10.0 else 30.0)
+        ()
+    with
+    | r -> r
+    | exception Invalid_argument msg ->
+      Printf.eprintf "netneutral: %s\n" msg;
+      exit 1
+  in
+  Experiments.E12_chaos.print r;
+  Experiments.Table.print_obs ~title:"chaos: client failure handling"
+    ~prefixes:[ "core.client." ]
+    ()
+
 let experiments =
   [ ("e1", "key-setup throughput (paper section 4)", run_e1);
     ("e2", "data-path vs vanilla forwarding throughput", run_e2);
@@ -351,6 +399,7 @@ let experiments =
     ("e9", "traffic analysis vs adaptive masking (extension)", run_e9);
     ("e10", "Glasnost-style discrimination detection (extension)", run_e10);
     ("e11", "3.6's residual vectors lose selectivity (extension)", run_e11);
+    ("e12", "chaos: nearest neutralizer killed mid-flow (robustness)", run_e12);
     ("ablations", "design-choice ablations A1-A4", run_ablations);
     ("all", "every experiment in order", run_all)
   ]
@@ -398,6 +447,31 @@ let () =
          ~doc:"Dump AT&T's packet capture of one neutralized exchange")
       Term.(const trace $ const ())
   in
+  let chaos_cmd =
+    let seed_opt =
+      let doc =
+        "Fault-injection seed. Identical seeds reproduce the fault \
+         timeline exactly; defaults to $(b,FAULT_SEED), then 1."
+      in
+      Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+    in
+    let plan_opt =
+      let doc =
+        "Fault plan file (one directive per line: 'at <s> \
+         node_crash|node_restart|link_down|link_up|partition|heal ...' \
+         or 'flap <node> <mean-up-s> <mean-down-s>'). Defaults to \
+         flapping neutralizer-1."
+      in
+      Arg.(
+        value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Seeded fault injection against the Fig. 1 world: run a fault \
+            plan under a steady flow and print recovery-time statistics")
+      Term.(const run_chaos $ quick_flag $ seed_opt $ plan_opt)
+  in
   (* `netneutral --metrics out.json` with no subcommand is the quickest
      way to get a measured run: silent workload, JSON out. *)
   let default =
@@ -421,4 +495,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: stats_cmd
-           :: exp_cmds)))
+           :: chaos_cmd :: exp_cmds)))

@@ -4,6 +4,7 @@ type config = {
   dns_verify : Crypto.Rsa.public option;
   onetime_keygen : unit -> Crypto.Rsa.private_key;
   strategy : Multihome.strategy;
+  multihome_backoff : int64;
   key_setup_timeout : int64;
   key_setup_attempts : int;
   grant_max_age : int64;
@@ -75,11 +76,17 @@ let default_config ~rng =
         Crypto.Rsa.generate ~e:Protocol.rsa_public_exponent
           ~bits:Protocol.onetime_rsa_bits (Lazy.force keygen_state));
     strategy = Multihome.Round_robin;
+    multihome_backoff = Multihome.backoff;
     key_setup_timeout = 250_000_000L;
     key_setup_attempts = 3;
     grant_max_age = 3_240_000_000_000L (* 54 simulated minutes *);
     blackhole_threshold = 25
   }
+
+let obs t = Net.Engine.obs (engine t)
+
+let bump ?(labels = []) t name =
+  Obs.Counter.inc (Obs.Registry.counter (obs t) ~labels ("core.client." ^ name))
 
 let fail t on_error msg =
   t.ctrs.errors <- t.ctrs.errors + 1;
@@ -118,10 +125,14 @@ and send_setup_packet t ~neutralizer ~pending ~attempts =
       (fun () ->
         match Hashtbl.find_opt t.pending_setups neutralizer with
         | Some still when still == pending ->
-          if attempts > 1 then
+          if attempts > 1 then begin
+            bump t "setup_retries";
             send_setup_packet t ~neutralizer ~pending ~attempts:(attempts - 1)
+          end
           else begin
             t.ctrs.key_setups_failed <- t.ctrs.key_setups_failed + 1;
+            bump t "key_setups_failed";
+            bump t "rehomes" ~labels:[ ("reason", "setup-timeout") ];
             Multihome.mark_failed t.mh neutralizer ~now:(now t);
             finish_setup t ~neutralizer None
           end
@@ -177,6 +188,7 @@ let send_data t ~neutralizer ~grant ~dest ~payload ~dscp ~app ~flow_id ~seq =
   in
   Hashtbl.replace t.outstanding neutralizer pending;
   if pending = t.config.blackhole_threshold then begin
+    bump t "rehomes" ~labels:[ ("reason", "blackhole") ];
     Keytab.invalidate t.keytab ~neutralizer;
     Multihome.mark_failed t.mh neutralizer ~now:(now t);
     Hashtbl.replace t.outstanding neutralizer 0
@@ -345,12 +357,8 @@ let handle_stale_grant t (p : Net.Packet.t) ~current_epoch =
       start_setup t ~neutralizer ~attempts:t.config.key_setup_attempts
   | Some _ | None -> ()
 
-let handle_shim t (p : Net.Packet.t) =
-  Hashtbl.replace t.outstanding p.src 0;
-  match Option.map Shim.decode p.shim with
-  | None | Some None -> ()
-  | Some (Some shim) ->
-    (match shim with
+let handle_shim_decoded t (p : Net.Packet.t) shim =
+  (match shim with
      | Shim.Key_setup_response { rsa_ct } ->
        handle_key_setup_response t p ~rsa_ct
      | Shim.Stale_grant { current_epoch } ->
@@ -360,6 +368,42 @@ let handle_shim t (p : Net.Packet.t) =
      | Shim.Reverse_key_request _ | Shim.Reverse_key_response _
      | Shim.Qos_address_request _ | Shim.Qos_address_response _
      | Shim.Offload _ -> ())
+
+let handle_shim t (p : Net.Packet.t) =
+  Hashtbl.replace t.outstanding p.src 0;
+  match Option.map Shim.decode p.shim with
+  | None | Some None -> ()
+  | Some (Some shim) -> (
+    try handle_shim_decoded t p shim
+    with _ ->
+      (* A corrupted-but-decodable shim (fault injection flips wire bits)
+         must never unwind into the network layer: count it as a
+         malformed packet and move on. *)
+      t.ctrs.errors <- t.ctrs.errors + 1;
+      bump t "handler_exceptions")
+
+let reset t =
+  (* Crash amnesia: every table the protocol keeps in RAM is wiped, and
+     pre-crash retry timers are cancelled so they cannot fire into the
+     reborn client. Grants, sessions, DNS cache, failure marks — all
+     gone; the next send re-bootstraps and re-runs key setup (§3.2)
+     exactly as on first boot. Waiters of in-flight setups are dropped,
+     not failed: their continuations belong to the dead incarnation. *)
+  Hashtbl.iter
+    (fun _ pending ->
+      match pending.timer with
+      | Some h -> Net.Engine.cancel h
+      | None -> ())
+    t.pending_setups;
+  Hashtbl.reset t.pending_setups;
+  Hashtbl.reset t.pending_dns;
+  Hashtbl.reset t.site_cache;
+  Hashtbl.reset t.needs_refresh;
+  Hashtbl.reset t.outstanding;
+  Keytab.clear t.keytab;
+  Session.clear_table t.sessions;
+  Multihome.clear_failures t.mh;
+  bump t "restarts"
 
 let create host ?keypair ?config ~seed () =
   let drbg = Crypto.Drbg.create ~seed in
@@ -377,6 +421,7 @@ let create host ?keypair ?config ~seed () =
       sessions = Session.create_table ();
       mh =
         Multihome.create ~strategy:config.strategy
+          ~backoff:config.multihome_backoff
           ~rng:(fun n -> Crypto.Drbg.generate drbg n)
           ();
       site_cache = Hashtbl.create 8;

@@ -27,6 +27,10 @@ type config = {
   onetime_keygen : unit -> Crypto.Rsa.private_key;
       (** override to pool/pregenerate one-time keys in tests and benches *)
   strategy : Multihome.strategy;
+  multihome_backoff : int64;
+      (** how long a neutralizer that timed out or blackholed is avoided
+          before trial-and-error retries it (default {!Multihome.backoff},
+          30 simulated seconds) *)
   key_setup_timeout : int64;
   key_setup_attempts : int;
   grant_max_age : int64;
@@ -116,6 +120,14 @@ val send_plain :
   unit
 (** Non-neutralized UDP send — the neutralizer service is optional
     (§3.4), and experiments compare both paths. *)
+
+val reset : t -> unit
+(** Crash amnesia: wipe every in-RAM table — grants, sessions, DNS
+    cache, pending setups (their retry timers are cancelled), failure
+    marks — as a host crash/restart would. The client object itself
+    survives (it models the reinstalled software); the next send
+    re-bootstraps and re-runs key setup from scratch. Bumps
+    [core.client.restarts]. *)
 
 val counters : t -> counters
 val keytab : t -> Keytab.t

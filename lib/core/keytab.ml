@@ -44,3 +44,7 @@ let drop_older_than t ~now ~max_age =
   List.iter (Hashtbl.remove t.current_tbl) stale_cur
 
 let grants t = Hashtbl.fold (fun k g acc -> (k, g) :: acc) t.current_tbl []
+
+let clear t =
+  Hashtbl.reset t.current_tbl;
+  Hashtbl.reset t.by_nonce

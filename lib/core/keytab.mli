@@ -35,3 +35,7 @@ val invalidate : t -> neutralizer:Net.Ipaddr.t -> unit
 
 val drop_older_than : t -> now:int64 -> max_age:int64 -> unit
 val grants : t -> (Net.Ipaddr.t * grant) list
+
+val clear : t -> unit
+(** Forget everything, nonce index included — crash amnesia. The client
+    re-runs key setup from scratch afterwards (see {!Client.reset}). *)

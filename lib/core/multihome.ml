@@ -7,17 +7,20 @@ type strategy =
 type t = {
   strategy : strategy;
   rng : int -> string;
+  backoff : int64;
   mutable counter : int;
   failed : (Net.Ipaddr.t, int64) Hashtbl.t; (* address -> backoff expiry *)
 }
 
 let backoff = 30_000_000_000L
 
-let create ?(strategy = Round_robin) ~rng () =
-  { strategy; rng; counter = 0; failed = Hashtbl.create 4 }
+let create ?(strategy = Round_robin) ?(backoff = backoff) ~rng () =
+  if Int64.compare backoff 0L < 0 then
+    invalid_arg "Multihome.create: backoff must be non-negative";
+  { strategy; rng; backoff; counter = 0; failed = Hashtbl.create 4 }
 
 let mark_failed t addr ~now =
-  Hashtbl.replace t.failed addr (Int64.add now backoff)
+  Hashtbl.replace t.failed addr (Int64.add now t.backoff)
 
 let clear_failures t = Hashtbl.reset t.failed
 

@@ -16,8 +16,12 @@ type strategy =
 
 type t
 
-val create : ?strategy:strategy -> rng:(int -> string) -> unit -> t
-(** Default strategy is [Round_robin]. *)
+val create :
+  ?strategy:strategy -> ?backoff:int64 -> rng:(int -> string) -> unit -> t
+(** Default strategy is [Round_robin]; [backoff] (how long a failed
+    neutralizer is avoided, ns) defaults to {!backoff}. Clients surface
+    it as {!Client.config.multihome_backoff} — aggressive failover tests
+    shrink it, patient deployments grow it. *)
 
 val choose : t -> now:int64 -> Net.Ipaddr.t list -> Net.Ipaddr.t option
 (** Pick from the published NEUT addresses, skipping addresses whose
@@ -31,6 +35,6 @@ val mark_failed : t -> Net.Ipaddr.t -> now:int64 -> unit
 val clear_failures : t -> unit
 
 val backoff : int64
-(** How long a failed neutralizer is avoided (30 simulated seconds). *)
+(** Default failure backoff (30 simulated seconds). *)
 
 val failures : t -> Net.Ipaddr.t list

@@ -39,6 +39,7 @@ type t = {
   qos : (Net.Ipaddr.t, qos_entry) Hashtbl.t;
   mutable customers : Net.Ipaddr.Prefix.t list;
       (* customer attachments outside the domain prefix (multi-homing) *)
+  mutable alive : bool;
 }
 
 let counters t = t.ctrs
@@ -211,7 +212,7 @@ let handle_qos_nat t (p : Net.Packet.t) entry =
         bump t "core.neutralizer.qos_natted";
         send t { p with dst = entry.customer })
 
-let handle t (p : Net.Packet.t) =
+let dispatch t (p : Net.Packet.t) =
   match Hashtbl.find_opt t.qos p.dst with
   | Some entry -> handle_qos_nat t p entry
   | None ->
@@ -239,6 +240,35 @@ let handle t (p : Net.Packet.t) =
            | Shim.Stale_grant _ ->
              reject t "unexpected-kind")))
 
+let handle t (p : Net.Packet.t) =
+  if not t.alive then reject t "crashed"
+  else
+    try dispatch t p
+    with _ ->
+      (* Whatever bit-flipped garbage the wire delivers, the box stays
+         up: a failed CMAC, an undecodable grant, a malformed address all
+         end as a counted reject, never an escaping exception. *)
+      reject t "handler-exception"
+
+let alive t = t.alive
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    (* The QoS/NAT table is the box's only per-customer RAM state (the
+       grant state is derived from the master key, §3.2 "the neutralizer
+       does not keep any state for any source") — a crash loses it, and
+       customers must re-request dynamic addresses. *)
+    Hashtbl.reset t.qos;
+    bump t "core.neutralizer.crashes"
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    bump t "core.neutralizer.restarts"
+  end
+
 let attach net node config =
   let t =
     { net;
@@ -257,7 +287,8 @@ let attach net node config =
           rejected_epoch = 0
         };
       qos = Hashtbl.create 16;
-      customers = []
+      customers = [];
+      alive = true
     }
   in
   Net.Network.set_handler net node.Net.Topology.nid (fun _net _nid p ->

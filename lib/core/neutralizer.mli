@@ -61,3 +61,19 @@ val qos_mappings : t -> (Net.Ipaddr.t * Net.Ipaddr.t) list
 (** Current (dynamic address, customer) pairs — exposed for tests, which
     assert the dynamic address is flow-identifiable but not
     customer-identifiable to outsiders. *)
+
+val alive : t -> bool
+
+val crash : t -> unit
+(** Power the box off: subsequent packets are rejected with reason
+    ["crashed"], and the QoS/NAT table — the box's only per-customer RAM
+    state; grants are master-key-derived and stateless (§3.2) — is
+    wiped. Idempotent. Callers simulating a real outage should also
+    withdraw the node from its anycast group and mark it down
+    ({!Fault.Inject.node_crash} does all three). *)
+
+val restart : t -> unit
+(** Power back on with empty RAM. Grants issued before the crash keep
+    working — they derive from the master key — which is the paper's
+    point about statelessness; QoS customers must re-request
+    addresses. *)

@@ -1,16 +1,54 @@
-type t = { mutable stopped : bool; mutable count : int }
+type t = {
+  engine : Net.Engine.t;
+  master : Master_key.t;
+  every : int64;
+  mutable stop_tick : unit -> unit;
+  mutable crashed : bool;
+  mutable count : int;
+  mutable missed : int;
+  mutable next_due : int64;
+}
+
+let tick t =
+  (* The schedule itself is wall time (the operator's cron keeps
+     running); a crashed box merely fails to execute it. *)
+  if t.crashed then t.missed <- t.missed + 1
+  else begin
+    Master_key.rotate t.master;
+    t.count <- t.count + 1
+  end;
+  t.next_due <- Int64.add (Net.Engine.now t.engine) t.every
 
 let schedule engine master ?(every = Protocol.master_key_lifetime) () =
-  let t = { stopped = false; count = 0 } in
-  let rec tick () =
-    if not t.stopped then begin
-      Master_key.rotate master;
-      t.count <- t.count + 1;
-      ignore (Net.Engine.schedule engine ~delay:every tick)
-    end
+  let t =
+    { engine;
+      master;
+      every;
+      stop_tick = (fun () -> ());
+      crashed = false;
+      count = 0;
+      missed = 0;
+      next_due = Int64.add (Net.Engine.now engine) every
+    }
   in
-  ignore (Net.Engine.schedule engine ~delay:every tick);
+  t.stop_tick <- Net.Engine.every engine ~period:every (fun () -> tick t);
   t
 
-let stop t = t.stopped <- true
+let stop t = t.stop_tick ()
 let rotations t = t.count
+let next_due t = t.next_due
+let crash t = t.crashed <- true
+
+let restart t =
+  if t.crashed then begin
+    t.crashed <- false;
+    (* Catch up: epochs are positions on the shared timeline, not a
+       private counter — a restarted box must agree with its peers (and
+       with clients' grant_max_age clocks) about the current epoch, so
+       every rotation missed while down is applied now. *)
+    for _ = 1 to t.missed do
+      Master_key.rotate t.master;
+      t.count <- t.count + 1
+    done;
+    t.missed <- 0
+  end

@@ -18,3 +18,17 @@ val schedule :
 
 val stop : t -> unit
 val rotations : t -> int
+
+val next_due : t -> int64
+(** Engine time of the next scheduled rotation. *)
+
+val crash : t -> unit
+(** The box hosting the schedule goes down mid-epoch: ticks keep
+    arriving (the schedule is wall time) but rotations stop being
+    executed. *)
+
+val restart : t -> unit
+(** Catch up on every rotation missed while crashed, so the restarted
+    box agrees with the shared epoch timeline — a grant issued against
+    epoch [e] before the crash is judged exactly as it would have been
+    had the box stayed up. *)

@@ -185,11 +185,8 @@ let handle_offload t ~pubkey ~epoch ~nonce ~key ~requester =
         ""
     end
 
-let handle_shim t (p : Net.Packet.t) =
-  match Option.map Shim.decode p.shim with
-  | None | Some None -> ()
-  | Some (Some shim) ->
-    (match shim with
+let handle_shim_decoded t (p : Net.Packet.t) shim =
+  (match shim with
      | Shim.Data d when not d.from_customer -> handle_data t p d
      | Shim.Reverse_key_response _ as r ->
        if not (Queue.is_empty t.pending_reverse) then
@@ -206,22 +203,23 @@ let handle_shim t (p : Net.Packet.t) =
      | Shim.Return _ | Shim.Reverse_key_request _
      | Shim.Qos_address_request _ | Shim.Stale_grant _ -> ())
 
+let handle_shim t (p : Net.Packet.t) =
+  match Option.map Shim.decode p.shim with
+  | None | Some None -> ()
+  | Some (Some shim) -> (
+    try handle_shim_decoded t p shim
+    with _ ->
+      (* Bit-flipped-on-the-wire input must end here, not in the
+         network layer. *)
+      t.ctrs.undecryptable <- t.ctrs.undecryptable + 1)
+
 let gc t ~idle =
   let stale = Session.expire t.sessions ~now:(now t) ~idle in
   List.iter (fun s -> Hashtbl.remove t.peers s.Session.sid) stale;
   List.length stale
 
 let enable_gc t ?(every = 60_000_000_000L) ?(idle = 600_000_000_000L) () =
-  let engine = engine t in
-  let stopped = ref false in
-  let rec sweep () =
-    if not !stopped then begin
-      ignore (gc t ~idle);
-      ignore (Net.Engine.schedule engine ~delay:every sweep)
-    end
-  in
-  ignore (Net.Engine.schedule engine ~delay:every sweep);
-  fun () -> stopped := true
+  Net.Engine.every (engine t) ~period:every (fun () -> ignore (gc t ~idle))
 
 let create host ~private_key ~neutralizer ~seed () =
   let t =

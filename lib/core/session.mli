@@ -38,6 +38,11 @@ type session = private {
 type table
 
 val create_table : unit -> table
+
+val clear_table : table -> unit
+(** Drop every session — crash amnesia. Peers re-establish with fresh
+    secrets (and therefore fresh sids) on the next send. *)
+
 val sid_of_secret : string -> string
 
 val register : table -> secret:string -> peer:Net.Ipaddr.t -> now:int64 -> session

@@ -1,0 +1,212 @@
+type action =
+  | Link_down of string * string
+  | Link_up of string * string
+  | Node_crash of string
+  | Node_restart of string
+  | Partition of string list
+  | Heal
+
+type entry = { at_s : float; action : action }
+type flap = { flap_node : string; mean_up_s : float; mean_down_s : float }
+type t = { entries : entry list; flaps : flap list }
+
+let empty = { entries = []; flaps = [] }
+
+let action_to_string = function
+  | Link_down (a, b) -> Printf.sprintf "link_down %s %s" a b
+  | Link_up (a, b) -> Printf.sprintf "link_up %s %s" a b
+  | Node_crash n -> Printf.sprintf "node_crash %s" n
+  | Node_restart n -> Printf.sprintf "node_restart %s" n
+  | Partition ds -> "partition " ^ String.concat " " ds
+  | Heal -> "heal"
+
+let to_string t =
+  String.concat ""
+    (List.map
+       (fun e -> Printf.sprintf "at %g %s\n" e.at_s (action_to_string e.action))
+       t.entries
+    @ List.map
+        (fun f ->
+          Printf.sprintf "flap %s %g %g\n" f.flap_node f.mean_up_s
+            f.mean_down_s)
+        t.flaps)
+
+(* ---- Parsing ----
+
+   One directive per line, [#] comments, blank lines ignored:
+     at <seconds> link_down <node> <node>
+     at <seconds> link_up <node> <node>
+     at <seconds> node_crash <node>
+     at <seconds> node_restart <node>
+     at <seconds> partition <domain> [<domain> ...]
+     at <seconds> heal
+     flap <node> <mean_up_seconds> <mean_down_seconds> *)
+
+let parse text =
+  let err lineno fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+  in
+  let float_arg lineno what s k =
+    match float_of_string_opt s with
+    | Some f when f >= 0.0 -> k f
+    | _ -> err lineno "%s must be a non-negative number, got %S" what s
+  in
+  let parse_line lineno acc line =
+    match acc with
+    | Error _ as e -> e
+    | Ok t -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let toks =
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+      in
+      match toks with
+      | [] -> Ok t
+      | "at" :: at :: rest ->
+        float_arg lineno "time" at (fun at_s ->
+            let entry action = Ok { t with entries = { at_s; action } :: t.entries } in
+            match rest with
+            | [ "link_down"; a; b ] -> entry (Link_down (a, b))
+            | [ "link_up"; a; b ] -> entry (Link_up (a, b))
+            | [ "node_crash"; n ] -> entry (Node_crash n)
+            | [ "node_restart"; n ] -> entry (Node_restart n)
+            | "partition" :: (_ :: _ as ds) -> entry (Partition ds)
+            | [ "heal" ] -> entry Heal
+            | _ -> err lineno "unknown action %S" (String.concat " " rest))
+      | [ "flap"; n; up; down ] ->
+        float_arg lineno "mean up time" up (fun mean_up_s ->
+            float_arg lineno "mean down time" down (fun mean_down_s ->
+                if mean_up_s <= 0.0 || mean_down_s <= 0.0 then
+                  err lineno "flap means must be positive"
+                else
+                  Ok
+                    { t with
+                      flaps =
+                        { flap_node = n; mean_up_s; mean_down_s } :: t.flaps
+                    }))
+      | w :: _ -> err lineno "unknown directive %S" w)
+  in
+  let lines = String.split_on_char '\n' text in
+  match
+    List.fold_left
+      (fun (lineno, acc) line -> (lineno + 1, parse_line lineno acc line))
+      (1, Ok empty) lines
+  with
+  | _, Error _ as e -> snd e
+  | _, Ok t -> Ok { entries = List.rev t.entries; flaps = List.rev t.flaps }
+
+(* ---- Scheduling ---- *)
+
+let resolve topo name =
+  match Net.Topology.node_by_name topo name with
+  | Some n -> Ok n.Net.Topology.nid
+  | None -> Error (Printf.sprintf "unknown node %S" name)
+
+let resolve_domain topo name =
+  match
+    List.find_opt
+      (fun (d : Net.Topology.domain) -> d.domain_name = name)
+      (Net.Topology.domains topo)
+  with
+  | Some d -> Ok d.did
+  | None -> Error (Printf.sprintf "unknown domain %S" name)
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+    let* y = f x in
+    let* ys = map_result f xs in
+    Ok (y :: ys)
+
+let compile_action topo inj action =
+  match action with
+  | Link_down (a, b) ->
+    let* a = resolve topo a in
+    let* b = resolve topo b in
+    Ok (fun () -> Inject.link_down inj a b)
+  | Link_up (a, b) ->
+    let* a = resolve topo a in
+    let* b = resolve topo b in
+    Ok (fun () -> Inject.link_up inj a b)
+  | Node_crash n ->
+    let* n = resolve topo n in
+    Ok (fun () -> Inject.node_crash inj n)
+  | Node_restart n ->
+    let* n = resolve topo n in
+    Ok (fun () -> Inject.node_restart inj n)
+  | Partition ds ->
+    let* domains = map_result (resolve_domain topo) ds in
+    Ok (fun () -> Inject.partition inj ~domains)
+  | Heal -> Ok (fun () -> Inject.heal inj)
+
+let schedule ?horizon_s plan inj =
+  let net = Inject.network inj in
+  let topo = Net.Network.topology net in
+  let engine = Net.Network.engine net in
+  let stopped = ref false in
+  let within delay_s =
+    match horizon_s with
+    | None -> true
+    | Some h -> Net.Engine.now_s engine +. delay_s <= h
+  in
+  (* Resolve every name before scheduling anything, so a bad plan fails
+     as a whole instead of half-running. *)
+  let* timeline =
+    map_result
+      (fun e ->
+        let* run = compile_action topo inj e.action in
+        Ok (e.at_s, run))
+      plan.entries
+  in
+  let* flaps =
+    map_result
+      (fun f ->
+        let* nid = resolve topo f.flap_node in
+        Ok (nid, f))
+      plan.flaps
+  in
+  List.iter
+    (fun (at_s, run) ->
+      ignore
+        (Net.Engine.schedule_s engine ~delay_s:at_s (fun () ->
+             if not !stopped then run ())))
+    timeline;
+  List.iter
+    (fun (nid, f) ->
+      (* Markov up/down: exponential holding times, one PRNG stream per
+         flapped node so adding a flap never perturbs another's
+         timeline. *)
+      let rng = Prng.split (Inject.prng inj) ~label:("flap:" ^ f.flap_node) in
+      let rec up () =
+        let d = Prng.exponential rng ~mean:f.mean_up_s in
+        if (not !stopped) && within d then
+          ignore
+            (Net.Engine.schedule_s engine ~delay_s:d (fun () ->
+                 if not !stopped then begin
+                   Inject.node_crash inj nid;
+                   down ()
+                 end))
+      and down () =
+        let d = Prng.exponential rng ~mean:f.mean_down_s in
+        if (not !stopped) && within d then
+          ignore
+            (Net.Engine.schedule_s engine ~delay_s:d (fun () ->
+                 if not !stopped then begin
+                   Inject.node_restart inj nid;
+                   up ()
+                 end))
+        else
+          (* Horizon reached while down: restart immediately so a run
+             never ends with a box administratively dead by accident. *)
+          ignore
+            (Net.Engine.schedule_s engine ~delay_s:0.0 (fun () ->
+                 if not !stopped then Inject.node_restart inj nid))
+      in
+      up ())
+    flaps;
+  Ok (fun () -> stopped := true)

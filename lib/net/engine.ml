@@ -57,6 +57,19 @@ let schedule_s t ~delay_s f =
 
 let cancel ev = ev.cancelled <- true
 
+let every t ~period f =
+  if Int64.compare period 0L <= 0 then
+    invalid_arg "Engine.every: period must be positive";
+  let stopped = ref false in
+  let rec tick () =
+    if not !stopped then begin
+      f ();
+      if not !stopped then ignore (schedule t ~delay:period tick)
+    end
+  in
+  ignore (schedule t ~delay:period tick);
+  fun () -> stopped := true
+
 let check_invariants t =
   if Pqueue.length t.q <> t.scheduled - t.popped then
     invalid_arg "Engine: pending queue inconsistent with scheduled - popped";

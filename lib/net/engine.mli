@@ -44,6 +44,13 @@ val schedule_s : t -> delay_s:float -> (unit -> unit) -> handle
 val cancel : handle -> unit
 (** Cancelling an already-run or already-cancelled event is a no-op. *)
 
+val every : t -> period:int64 -> (unit -> unit) -> unit -> unit
+(** [every t ~period f] runs [f] each [period] ns, first at
+    [now + period], until the returned stopper is called. The recurring
+    event keeps the queue non-empty, so bound runs with [~until].
+    [period] must be positive. Periodic housekeeping — GC sweeps, key
+    rotation, fault flapping — is built on this. *)
+
 val run : ?until:int64 -> ?max_events:int -> t -> unit
 (** [run t] processes events until the queue is empty, the optional
     simulated-time bound [until] is passed, or [max_events] have run.

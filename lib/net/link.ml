@@ -6,6 +6,12 @@ type stats = {
   max_queue_bytes : int;
 }
 
+type drop_reason = Queue_full | Link_down
+
+type send_result = Sent | Dropped of drop_reason
+
+type perturb = Packet.t -> (Packet.t * int64) list
+
 (* The running totals live in the engine's obs registry as monotonic
    counters (family net.link.*, labeled by link); the [stats]/
    [reset_stats] API is preserved by subtracting the baseline captured
@@ -20,7 +26,11 @@ type t = {
   c_sent_bytes : Obs.Counter.t;
   c_dropped_packets : Obs.Counter.t;
   c_dropped_bytes : Obs.Counter.t;
+  c_drop_queue : Obs.Counter.t;
+  c_drop_down : Obs.Counter.t;
   h_queue : Obs.Histogram.t;
+  mutable up : bool;
+  mutable perturb : perturb option;
   mutable queued_bytes : int;
   mutable busy_until : int64;
   mutable max_queue_bytes : int;
@@ -44,6 +54,11 @@ let create engine ~bandwidth_bps ~latency ?(queue_bytes = 128 * 1024) ?label
   in
   let obs = Engine.obs engine in
   let labels = [ ("link", label) ] in
+  let drop_counter reason =
+    Obs.Registry.counter obs
+      ~labels:(("reason", reason) :: labels)
+      "net.link.drops"
+  in
   { engine;
     bandwidth_bps;
     latency;
@@ -54,8 +69,12 @@ let create engine ~bandwidth_bps ~latency ?(queue_bytes = 128 * 1024) ?label
     c_dropped_packets =
       Obs.Registry.counter obs ~labels "net.link.dropped_packets";
     c_dropped_bytes = Obs.Registry.counter obs ~labels "net.link.dropped_bytes";
+    c_drop_queue = drop_counter "queue";
+    c_drop_down = drop_counter "down";
     h_queue =
       Obs.Registry.histogram obs ~labels "net.link.queue_occupancy_bytes";
+    up = true;
+    perturb = None;
     queued_bytes = 0;
     busy_until = 0L;
     max_queue_bytes = 0;
@@ -72,12 +91,39 @@ let transmission_time t bytes =
     (Int64.mul (Int64.of_int (bytes * 8)) 1_000_000_000L)
     (Int64.of_int t.bandwidth_bps)
 
+let set_up t up = t.up <- up
+let is_up t = t.up
+let set_perturb t f = t.perturb <- f
+
+let count_drop t bytes reason =
+  Obs.Counter.inc t.c_dropped_packets;
+  Obs.Counter.add t.c_dropped_bytes bytes;
+  Obs.Counter.inc
+    (match reason with Queue_full -> t.c_drop_queue | Link_down -> t.c_drop_down)
+
+(* End of serialization: hand the packet to the propagation stage, where
+   the fault layer's perturbation hook may lose, corrupt, duplicate or
+   delay (reorder) the wire image. *)
+let propagate t p =
+  let deliveries =
+    match t.perturb with None -> [ (p, 0L) ] | Some f -> f p
+  in
+  List.iter
+    (fun (p, extra) ->
+      ignore
+        (Engine.schedule t.engine ~delay:(Int64.add t.latency extra) (fun () ->
+             t.deliver p)))
+    deliveries
+
 let send t p =
   let bytes = Packet.size p in
-  if t.queued_bytes + bytes > t.queue_capacity then begin
-    Obs.Counter.inc t.c_dropped_packets;
-    Obs.Counter.add t.c_dropped_bytes bytes;
-    false
+  if not t.up then begin
+    count_drop t bytes Link_down;
+    Dropped Link_down
+  end
+  else if t.queued_bytes + bytes > t.queue_capacity then begin
+    count_drop t bytes Queue_full;
+    Dropped Queue_full
   end
   else begin
     let now = Engine.now t.engine in
@@ -88,18 +134,20 @@ let send t p =
     let start = if Int64.compare t.busy_until now > 0 then t.busy_until else now in
     let done_tx = Int64.add start (transmission_time t bytes) in
     t.busy_until <- done_tx;
-    (* Dequeue at end of serialization; deliver after propagation. *)
+    (* Dequeue at end of serialization; deliver after propagation. A
+       link taken down mid-serialization drops the in-flight packet. *)
     ignore
       (Engine.schedule t.engine
          ~delay:(Int64.sub done_tx now)
          (fun () ->
            t.queued_bytes <- t.queued_bytes - bytes;
-           Obs.Counter.inc t.c_sent_packets;
-           Obs.Counter.add t.c_sent_bytes bytes;
-           ignore
-             (Engine.schedule t.engine ~delay:t.latency (fun () ->
-                  t.deliver p))));
-    true
+           if not t.up then count_drop t bytes Link_down
+           else begin
+             Obs.Counter.inc t.c_sent_packets;
+             Obs.Counter.add t.c_sent_bytes bytes;
+             propagate t p
+           end));
+    Sent
   end
 
 let stats t =

@@ -9,10 +9,17 @@
 
     Each link publishes monotonic counters [net.link.sent_packets],
     [net.link.sent_bytes], [net.link.dropped_packets],
-    [net.link.dropped_bytes] and a [net.link.queue_occupancy_bytes]
-    histogram (sampled at every enqueue) into the engine's obs
-    registry, labeled [link=<label>]. The [stats]/[reset_stats] API is
-    kept as a windowed view over those counters. *)
+    [net.link.dropped_bytes], a per-reason [net.link.drops{reason}]
+    family and a [net.link.queue_occupancy_bytes] histogram (sampled at
+    every enqueue) into the engine's obs registry, labeled
+    [link=<label>]. The [stats]/[reset_stats] API is kept as a windowed
+    view over those counters.
+
+    Two control surfaces exist for the fault layer: an administrative
+    up/down state ({!set_up}) modeling link failure, and a perturbation
+    hook ({!set_perturb}) applied to each packet at the start of
+    propagation, modeling in-flight loss, corruption, duplication and
+    reordering. *)
 
 type t
 
@@ -23,6 +30,19 @@ type stats = {
   dropped_bytes : int;
   max_queue_bytes : int;
 }
+
+type drop_reason =
+  | Queue_full  (** drop-tail: the FIFO was full on arrival *)
+  | Link_down  (** the link is administratively down (fault injection) *)
+
+type send_result = Sent | Dropped of drop_reason
+
+type perturb = Packet.t -> (Packet.t * int64) list
+(** A perturbation maps one transmitted packet to the list of
+    [(packet, extra_delay_ns)] actually delivered: [[]] is loss, a
+    modified packet is corruption of the wire image, two entries are
+    duplication, and a positive extra delay causes (bounded)
+    reordering against later traffic. *)
 
 val create :
   Engine.t ->
@@ -37,8 +57,21 @@ val create :
     family (defaults to a fresh ["link-N"]). [deliver] fires at the
     receiving end after serialization and propagation. *)
 
-val send : t -> Packet.t -> bool
-(** [send t p] enqueues [p]; [false] means tail-dropped. *)
+val send : t -> Packet.t -> send_result
+(** [send t p] enqueues [p]; [Dropped reason] tells the caller why the
+    packet did not make it onto the wire, so every drop can be routed
+    to an obs counter with a reason label. *)
+
+val set_up : t -> bool -> unit
+(** Administrative state. A down link refuses new packets ([Dropped
+    Link_down]) and drops packets still in its transmit queue when
+    their serialization completes. *)
+
+val is_up : t -> bool
+
+val set_perturb : t -> perturb option -> unit
+(** Installs (or clears) the fault-injection hook run at the start of
+    propagation. The default is the identity ([[(p, 0L)]]). *)
 
 val stats : t -> stats
 val queue_occupancy : t -> int

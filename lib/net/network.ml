@@ -8,6 +8,8 @@ type counters = {
   mutable dropped_ttl : int;
   mutable dropped_policy : int;
   mutable dropped_queue : int;
+  mutable dropped_link_down : int;
+  mutable dropped_node_down : int;
 }
 
 type t = {
@@ -20,6 +22,7 @@ type t = {
   middlewares : (int, middleware list) Hashtbl.t;
   taps : (int, (Observation.t -> unit) list) Hashtbl.t;
   busy : (int, int64) Hashtbl.t;
+  down_nodes : (int, unit) Hashtbl.t;
   ctrs : counters;
   c_delivered : Obs.Counter.t;
 }
@@ -38,13 +41,17 @@ let drop t reason =
    | `No_route -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
    | `Ttl -> t.ctrs.dropped_ttl <- t.ctrs.dropped_ttl + 1
    | `Policy -> t.ctrs.dropped_policy <- t.ctrs.dropped_policy + 1
-   | `Queue -> t.ctrs.dropped_queue <- t.ctrs.dropped_queue + 1);
+   | `Queue -> t.ctrs.dropped_queue <- t.ctrs.dropped_queue + 1
+   | `Link_down -> t.ctrs.dropped_link_down <- t.ctrs.dropped_link_down + 1
+   | `Node_down -> t.ctrs.dropped_node_down <- t.ctrs.dropped_node_down + 1);
   let label =
     match reason with
     | `No_route -> "no_route"
     | `Ttl -> "ttl"
     | `Policy -> "policy"
     | `Queue -> "queue"
+    | `Link_down -> "link_down"
+    | `Node_down -> "node_down"
   in
   Obs.Counter.inc
     (Obs.Registry.counter (Engine.obs t.engine)
@@ -63,6 +70,22 @@ let add_tap t did f =
   Hashtbl.replace t.taps did (cur @ [ f ])
 
 let link_between t a b = Hashtbl.find_opt t.links (a, b)
+
+let iter_links t f = Hashtbl.iter (fun (a, b) link -> f a b link) t.links
+
+(* Node liveness (fault injection): a down node neither originates,
+   transits nor receives packets — its in-flight traffic is dropped
+   with reason [node_down]. *)
+let set_node_up t nid ~up =
+  if up then Hashtbl.remove t.down_nodes nid
+  else Hashtbl.replace t.down_nodes nid ()
+
+let node_up t nid = not (Hashtbl.mem t.down_nodes nid)
+
+let drop_of_send_result t = function
+  | Link.Sent -> ()
+  | Link.Dropped Link.Queue_full -> drop t `Queue
+  | Link.Dropped Link.Link_down -> drop t `Link_down
 
 let fire_taps t did p =
   match Hashtbl.find_opt t.taps did with
@@ -107,6 +130,10 @@ let apply_middlewares t did p k =
     go chain p
 
 let rec receive t nid (p : Packet.t) =
+  if not (node_up t nid) then drop t `Node_down
+  else receive_up t nid p
+
+and receive_up t nid (p : Packet.t) =
   let node = Topology.node t.topo nid in
   fire_taps t node.domain p;
   if is_local t node p then
@@ -134,20 +161,23 @@ and forward t nid (p : Packet.t) =
   | Some next ->
     (match Hashtbl.find_opt t.links (nid, next) with
      | None -> drop t `No_route
-     | Some link -> if not (Link.send link p) then drop t `Queue)
+     | Some link -> drop_of_send_result t (Link.send link p))
 
 let send t ~from p =
-  let node = Topology.node t.topo from in
-  fire_taps t node.domain p;
-  if is_local t node p then deliver t from p
+  if not (node_up t from) then drop t `Node_down
   else begin
-    match Routing.next_hop t.routing t.topo ~from p.Packet.dst with
-    | None -> drop t `No_route
-    | Some next when next = from -> deliver t from p
-    | Some next ->
-      (match Hashtbl.find_opt t.links (from, next) with
-       | None -> drop t `No_route
-       | Some link -> if not (Link.send link p) then drop t `Queue)
+    let node = Topology.node t.topo from in
+    fire_taps t node.domain p;
+    if is_local t node p then deliver t from p
+    else begin
+      match Routing.next_hop t.routing t.topo ~from p.Packet.dst with
+      | None -> drop t `No_route
+      | Some next when next = from -> deliver t from p
+      | Some next ->
+        (match Hashtbl.find_opt t.links (from, next) with
+         | None -> drop t `No_route
+         | Some link -> drop_of_send_result t (Link.send link p))
+    end
   end
 
 let service ?(kind = "other") t nid ~cost k =
@@ -188,7 +218,10 @@ let recompute_routes t =
       ensure e.a e.b;
       ensure e.b e.a)
     (Topology.edges t.topo);
-  t.routing <- Routing.compute ~policy:t.route_policy t.topo
+  t.routing <-
+    Routing.compute ~policy:t.route_policy
+      ~usable:(fun nid -> not (Hashtbl.mem t.down_nodes nid))
+      t.topo
 
 let create ?(policy = Routing.Shortest) engine topo =
   let t =
@@ -201,6 +234,7 @@ let create ?(policy = Routing.Shortest) engine topo =
       middlewares = Hashtbl.create 8;
       taps = Hashtbl.create 8;
       busy = Hashtbl.create 16;
+      down_nodes = Hashtbl.create 4;
       c_delivered =
         Obs.Registry.counter (Engine.obs engine) "net.network.delivered";
       ctrs =
@@ -208,7 +242,9 @@ let create ?(policy = Routing.Shortest) engine topo =
           dropped_no_route = 0;
           dropped_ttl = 0;
           dropped_policy = 0;
-          dropped_queue = 0
+          dropped_queue = 0;
+          dropped_link_down = 0;
+          dropped_node_down = 0
         }
     }
   in

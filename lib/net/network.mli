@@ -69,6 +69,10 @@ type counters = {
   mutable dropped_ttl : int;
   mutable dropped_policy : int;
   mutable dropped_queue : int;
+  mutable dropped_link_down : int;
+      (** sends refused by an administratively-down link *)
+  mutable dropped_node_down : int;
+      (** packets arriving at (or originated by) a crashed node *)
 }
 
 val counters : t -> counters
@@ -78,6 +82,20 @@ val counters : t -> counters
 val link_between :
   t -> Topology.node_id -> Topology.node_id -> Link.t option
 (** Directed link [from -> to], when adjacent. *)
+
+val iter_links : t -> (Topology.node_id -> Topology.node_id -> Link.t -> unit) -> unit
+(** Every instantiated directed link. Iteration order is unspecified;
+    callers needing determinism should key their own state off the link
+    endpoints, not the visit order. *)
+
+val set_node_up : t -> Topology.node_id -> up:bool -> unit
+(** Node liveness (fault injection). A down node neither originates,
+    transits nor receives packets; everything addressed through it is
+    dropped with reason [node_down]. Routing is not recomputed here —
+    callers that also change anycast membership should call
+    {!recompute_routes}. *)
+
+val node_up : t -> Topology.node_id -> bool
 
 val run : ?until:int64 -> ?max_events:int -> t -> unit
 (** Convenience alias for {!Engine.run} on the network's engine. *)

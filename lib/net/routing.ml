@@ -42,13 +42,18 @@ let transition phase kind =
   | Peer_hop -> if phase = phase_up then Some phase_peered else None
   | Down -> Some phase_down
 
-let compute ?(policy = Shortest) topo =
+let compute ?(policy = Shortest) ?(usable = fun _ -> true) topo =
   let n = Topology.node_count topo in
   let adj = Array.make n [] in
   List.iter
     (fun (e : Topology.edge) ->
-      adj.(e.a) <- (e.b, e.latency, e) :: adj.(e.a);
-      adj.(e.b) <- (e.a, e.latency, e) :: adj.(e.b))
+      (* A down node neither forwards nor sinks: leaving its edges out
+         makes Dijkstra converge around it, the way routing protocols
+         converge around a dead router. *)
+      if usable e.a && usable e.b then begin
+        adj.(e.a) <- (e.b, e.latency, e) :: adj.(e.a);
+        adj.(e.b) <- (e.a, e.latency, e) :: adj.(e.b)
+      end)
     (Topology.edges topo);
   let dist = Array.make_matrix n n (-1L) in
   let first_hop = Array.make_matrix n n (-1) in

@@ -29,8 +29,12 @@ type policy = Shortest | Valley_free
 
 type t
 
-val compute : ?policy:policy -> Topology.t -> t
-(** Rebuild after topology changes (e.g. multi-homing failover tests). *)
+val compute : ?policy:policy -> ?usable:(Topology.node_id -> bool) -> Topology.t -> t
+(** Rebuild after topology changes (e.g. multi-homing failover tests).
+    Nodes for which [usable] is false (default: all usable) are excluded
+    from the graph entirely — they neither forward, originate, nor sink,
+    so paths converge around them as routing protocols converge around a
+    dead router. {!Network.recompute_routes} passes its down-node set. *)
 
 val policy : t -> policy
 

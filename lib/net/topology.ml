@@ -87,6 +87,24 @@ let add_link t a b ~bandwidth_bps ~latency ?(queue_bytes = 128 * 1024) ?rel ()
 let register_anycast t addr members =
   Hashtbl.replace t.anycast addr members
 
+let remove_anycast_member t addr nid =
+  match Hashtbl.find_opt t.anycast addr with
+  | None -> ()
+  | Some members ->
+    Hashtbl.replace t.anycast addr (List.filter (fun m -> m <> nid) members)
+
+let add_anycast_member t addr nid =
+  match Hashtbl.find_opt t.anycast addr with
+  | None -> Hashtbl.replace t.anycast addr [ nid ]
+  | Some members ->
+    if not (List.mem nid members) then
+      (* keep the original announcement order: late (re)joins append *)
+      Hashtbl.replace t.anycast addr (members @ [ nid ])
+
+let anycast_groups t =
+  Hashtbl.fold (fun addr members acc -> (addr, members) :: acc) t.anycast []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let node t nid =
   match Hashtbl.find_opt t.by_id nid with
   | Some n -> n
@@ -97,6 +115,9 @@ let domains t = List.rev t.doms
 let edges t = List.rev t.edgs
 let node_count t = t.n_nodes
 let node_of_addr t addr = Hashtbl.find_opt t.by_addr addr
+
+let node_by_name t name =
+  List.find_opt (fun n -> n.node_name = name) t.nods
 
 let anycast_members t addr =
   match Hashtbl.find_opt t.anycast addr with

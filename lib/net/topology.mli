@@ -69,6 +69,18 @@ val register_anycast : t -> Ipaddr.t -> node_id list -> unit
 (** [register_anycast t addr members] makes [addr] route to the nearest of
     [members]. Members are typically the domain's neutralizer boxes. *)
 
+val remove_anycast_member : t -> Ipaddr.t -> node_id -> unit
+(** Withdraw one member from a group — what a crashed neutralizer box's
+    route announcement ceasing looks like. No-op if absent. Callers must
+    {!Network.recompute_routes} afterwards. *)
+
+val add_anycast_member : t -> Ipaddr.t -> node_id -> unit
+(** (Re-)announce one member, appended to the group (creating the group
+    when needed). No-op if already present. *)
+
+val anycast_groups : t -> (Ipaddr.t * node_id list) list
+(** Every registered group, sorted by address. *)
+
 val fresh_address : t -> domain_id -> Ipaddr.t
 (** Allocate an address in the domain without creating a node — the pool
     the QoS dynamic-address feature (§3.4) draws from. *)
@@ -82,6 +94,10 @@ val node_count : t -> int
 
 val node_of_addr : t -> Ipaddr.t -> node option
 (** Unicast lookup; anycast addresses resolve via {!anycast_members}. *)
+
+val node_by_name : t -> string -> node option
+(** Lookup by the name given to {!add_node} — how declarative fault
+    plans refer to nodes. Linear scan; names are assumed unique. *)
 
 val anycast_members : t -> Ipaddr.t -> node_id list
 (** Empty when [addr] is not an anycast address. *)

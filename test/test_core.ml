@@ -445,6 +445,84 @@ let test_session_expiry () =
   Alcotest.(check bool) "peer index cleaned" true
     (Session.find_by_peer t ~peer:(addr "10.2.0.1") = None)
 
+let test_session_churn () =
+  let open Core in
+  (* Thousands of register/expire cycles with overlapping lifetimes: the
+     table must stay bounded (both indexes), every registration must get
+     a fresh sid, and a full drain must leave nothing behind. *)
+  let rng = drbg_rng "churn" in
+  let t = Session.create_table () in
+  let seen = Hashtbl.create 4096 in
+  let cycles = 2000 in
+  let registered = ref [] in
+  for i = 0 to cycles - 1 do
+    let now = Int64.of_int (i * 300) in
+    let peer = addr (Printf.sprintf "10.2.%d.%d" (i / 250) (1 + (i mod 250))) in
+    let s = Session.register t ~secret:(rng 32) ~peer ~now in
+    if Hashtbl.mem seen s.Session.sid then
+      Alcotest.failf "sid reused at cycle %d" i;
+    Hashtbl.replace seen s.Session.sid ();
+    registered := (s.Session.sid, peer) :: !registered;
+    ignore (Session.expire t ~now ~idle:1000L);
+    (* idle window 1000 / spacing 300: at most 4-5 live at once *)
+    if Session.count t > 5 then
+      Alcotest.failf "table leak: %d live at cycle %d" (Session.count t) i
+  done;
+  Alcotest.(check int) "every sid distinct" cycles (Hashtbl.length seen);
+  ignore (Session.expire t ~now:Int64.max_int ~idle:1000L);
+  Alcotest.(check int) "drained" 0 (Session.count t);
+  List.iter
+    (fun (sid, peer) ->
+      if Session.find t ~sid <> None then Alcotest.failf "sid index leak";
+      if Session.find_by_peer t ~peer <> None then
+        Alcotest.failf "peer index leak")
+    !registered
+
+let test_server_gc_churn () =
+  let open Core in
+  (* Same churn through the server agent's periodic GC surface: sessions
+     registered into a live server's table are collected by [Server.gc]
+     on the engine clock, with nothing left after the final sweep. *)
+  let topo = Net.Topology.create () in
+  let d = Net.Topology.add_domain topo ~name:"d" ~prefix:"10.9.0.0/16" in
+  let n =
+    Net.Topology.add_node topo ~domain:d ~kind:Net.Topology.Host ~name:"srv"
+  in
+  let eng = Net.Engine.create () in
+  let net = Net.Network.create eng topo in
+  let host = Net.Host.attach net n in
+  let srv =
+    Server.create host
+      ~private_key:(Scenario.Keyring.e2e 3)
+      ~neutralizer:(addr "10.9.255.1") ~seed:"gc-churn" ()
+  in
+  let rng = drbg_rng "gc-churn" in
+  let tbl = Server.sessions srv in
+  let collected = ref 0 and max_live = ref 0 in
+  let cycles = 2000 in
+  for i = 0 to cycles - 1 do
+    ignore
+      (Net.Engine.schedule_s eng
+         ~delay_s:(0.001 *. float_of_int i)
+         (fun () ->
+           let peer =
+             addr (Printf.sprintf "10.2.%d.%d" (i / 250) (1 + (i mod 250)))
+           in
+           ignore
+             (Session.register tbl ~secret:(rng 32) ~peer
+                ~now:(Net.Engine.now eng));
+           collected := !collected + Server.gc srv ~idle:5_000_000L;
+           max_live := max !max_live (Session.count tbl)))
+  done;
+  ignore
+    (Net.Engine.schedule_s eng ~delay_s:(0.001 *. float_of_int cycles +. 1.0)
+       (fun () -> collected := !collected + Server.gc srv ~idle:5_000_000L));
+  Net.Engine.run eng;
+  (* idle window 5 ms / spacing 1 ms: live set stays a handful *)
+  Alcotest.(check bool) "bounded while churning" true (!max_live <= 8);
+  Alcotest.(check int) "all collected eventually" cycles !collected;
+  Alcotest.(check int) "nothing left" 0 (Session.count tbl)
+
 let test_accept_initial_wrong_key () =
   let open Core in
   let key = Scenario.Keyring.e2e 3 in
@@ -506,6 +584,29 @@ let test_multihome_failure_backoff () =
   Multihome.mark_failed m b ~now:0L;
   Alcotest.(check bool) "falls back" true (Multihome.choose m ~now:1L [ a; b ] <> None)
 
+let test_multihome_custom_backoff () =
+  let open Core in
+  let a = addr "10.2.255.1" and b = addr "10.5.255.1" in
+  let rng = drbg_rng "mh-cb" in
+  (* An aggressive client retries a failed neutralizer after 1 us rather
+     than the default 30 s. *)
+  let m =
+    Multihome.create ~strategy:(Multihome.Prefer b) ~backoff:1_000L ~rng ()
+  in
+  Multihome.mark_failed m b ~now:0L;
+  Alcotest.(check (option string)) "avoided inside the window"
+    (Some "10.2.255.1")
+    (Option.map Net.Ipaddr.to_string (Multihome.choose m ~now:500L [ a; b ]));
+  Alcotest.(check (option string)) "short window recovers fast"
+    (Some "10.5.255.1")
+    (Option.map Net.Ipaddr.to_string (Multihome.choose m ~now:1_001L [ a; b ]));
+  Alcotest.check_raises "negative backoff rejected"
+    (Invalid_argument "Multihome.create: backoff must be non-negative")
+    (fun () -> ignore (Multihome.create ~backoff:(-1L) ~rng ()));
+  (* The client-level config default is the module default. *)
+  Alcotest.(check int64) "client default wired through" Multihome.backoff
+    (Client.default_config ~rng).Client.multihome_backoff
+
 let () =
   Alcotest.run "core-protocol"
     [ ( "shim",
@@ -537,6 +638,9 @@ let () =
         [ Alcotest.test_case "inner codec" `Quick test_inner_codec;
           Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
           Alcotest.test_case "expiry" `Quick test_session_expiry;
+          Alcotest.test_case "churn keeps table bounded" `Quick
+            test_session_churn;
+          Alcotest.test_case "server gc churn" `Quick test_server_gc_churn;
           Alcotest.test_case "wrong key" `Quick test_accept_initial_wrong_key
         ] );
       ( "multihome",
@@ -544,6 +648,8 @@ let () =
           Alcotest.test_case "weighted distribution" `Quick
             test_multihome_weighted_distribution;
           Alcotest.test_case "failure backoff" `Quick
-            test_multihome_failure_backoff
+            test_multihome_failure_backoff;
+          Alcotest.test_case "configurable backoff" `Quick
+            test_multihome_custom_backoff
         ] )
     ]

@@ -184,7 +184,7 @@ let test_link_timing () =
       (String.make 972 'x')
   in
   Alcotest.(check int) "packet size" 1000 (Packet.size p);
-  Alcotest.(check bool) "sent" true (Link.send link p);
+  Alcotest.(check bool) "sent" true (Link.send link p = Link.Sent);
   Engine.run e;
   Alcotest.(check int64) "serialize + propagate" 3_000_000L !arrived
 
@@ -222,12 +222,73 @@ let test_link_drops () =
       ~dst:(Ipaddr.of_string "2.2.2.2")
       (String.make 72 'x')
   in
-  Alcotest.(check bool) "first fits" true (Link.send link p);
-  Alcotest.(check bool) "second dropped" false (Link.send link p);
+  Alcotest.(check bool) "first fits" true (Link.send link p = Link.Sent);
+  Alcotest.(check bool) "second dropped" true
+    (Link.send link p = Link.Dropped Link.Queue_full);
   let stats = Link.stats link in
   Alcotest.(check int) "drop counted" 1 stats.dropped_packets;
   Engine.run e;
   Alcotest.(check int) "sent counted" 1 (Link.stats link).sent_packets
+
+let test_link_admin_down () =
+  let e = Engine.create () in
+  let delivered = ref 0 in
+  let link =
+    Link.create e ~bandwidth_bps:8_000_000 ~latency:0L ~label:"t-admin"
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  let p =
+    Packet.make
+      ~src:(Ipaddr.of_string "1.1.1.1")
+      ~dst:(Ipaddr.of_string "2.2.2.2")
+      "x"
+  in
+  Link.set_up link false;
+  Alcotest.(check bool) "refused while down" true
+    (Link.send link p = Link.Dropped Link.Link_down);
+  (* Every refusal is a counted obs event with a reason label, never an
+     exception escaping the datapath. *)
+  let drops reason =
+    Obs.Counter.value
+      (Obs.Registry.counter (Engine.obs e)
+         ~labels:[ ("reason", reason); ("link", "t-admin") ]
+         "net.link.drops")
+  in
+  Alcotest.(check int) "counted with reason=down" 1 (drops "down");
+  Alcotest.(check int) "queue family untouched" 0 (drops "queue");
+  Alcotest.(check int) "aggregate drop stat" 1 (Link.stats link).dropped_packets;
+  Link.set_up link true;
+  Alcotest.(check bool) "accepted once back up" true
+    (Link.send link p = Link.Sent);
+  Engine.run e;
+  Alcotest.(check int) "delivered after re-up" 1 !delivered
+
+let test_link_queue_drop_reason () =
+  let e = Engine.create () in
+  let link =
+    Link.create e ~bandwidth_bps:1000 ~latency:0L ~queue_bytes:150
+      ~label:"t-tail"
+      ~deliver:(fun _ -> ())
+      ()
+  in
+  let p =
+    Packet.make
+      ~src:(Ipaddr.of_string "1.1.1.1")
+      ~dst:(Ipaddr.of_string "2.2.2.2")
+      (String.make 72 'x')
+  in
+  ignore (Link.send link p);
+  ignore (Link.send link p);
+  let drops reason =
+    Obs.Counter.value
+      (Obs.Registry.counter (Engine.obs e)
+         ~labels:[ ("reason", reason); ("link", "t-tail") ]
+         "net.link.drops")
+  in
+  Alcotest.(check int) "tail drop under reason=queue" 1 (drops "queue");
+  Alcotest.(check int) "down family untouched" 0 (drops "down");
+  Engine.run e
 
 (* ---- Topology / Routing / Network ---- *)
 
@@ -388,6 +449,58 @@ let test_recompute_routes_after_link_add () =
   Network.run net;
   Alcotest.(check int) "reachable after" 1 !got
 
+(* Two equal-role routers between a and b: a fast one (m1) and a slow
+   one (m2). The canonical shape for watching routing converge around a
+   dead router. *)
+let diamond () =
+  let topo = Topology.create () in
+  let d = Topology.add_domain topo ~name:"d" ~prefix:"10.0.0.0/16" in
+  let n name = Topology.add_node topo ~domain:d ~kind:Router ~name in
+  let a = n "a" and m1 = n "m1" and m2 = n "m2" and b = n "b" in
+  let link x y lat =
+    Topology.add_link topo x y ~bandwidth_bps:1_000_000_000 ~latency:lat ()
+  in
+  link a.nid m1.nid 1_000_000L;
+  link m1.nid b.nid 1_000_000L;
+  link a.nid m2.nid 10_000_000L;
+  link m2.nid b.nid 10_000_000L;
+  (topo, a, m1, m2, b)
+
+let test_routes_converge_around_down_node () =
+  let topo, a, m1, _, b = diamond () in
+  let e = Engine.create () in
+  let net = Network.create e topo in
+  let got = ref 0 and at = ref 0L in
+  Network.set_handler net b.nid (fun _ _ _ ->
+      incr got;
+      at := Engine.now e);
+  let send () =
+    let t0 = Engine.now e in
+    Network.send net ~from:a.nid (Packet.make ~src:a.addr ~dst:b.addr "x");
+    Network.run net;
+    Int64.sub !at t0
+  in
+  let d0 = send () in
+  Alcotest.(check int) "fast path first" 1 !got;
+  Alcotest.(check bool) "via m1 (~2 ms)" true (d0 < 5_000_000L);
+  (* Crash m1. Until routing reconverges, the stale route blackholes
+     into the dead router — counted, not raised. *)
+  Network.set_node_up net m1.nid ~up:false;
+  ignore (send ());
+  Alcotest.(check int) "stale route blackholes" 1 !got;
+  Alcotest.(check int) "counted as node_down" 1
+    (Network.counters net).dropped_node_down;
+  (* Reconvergence must route around the corpse, not through it. *)
+  Network.recompute_routes net;
+  let d1 = send () in
+  Alcotest.(check int) "converged around the dead router" 2 !got;
+  Alcotest.(check bool) "via m2 (~20 ms)" true (d1 >= 20_000_000L);
+  Network.set_node_up net m1.nid ~up:true;
+  Network.recompute_routes net;
+  let d2 = send () in
+  Alcotest.(check int) "restored" 3 !got;
+  Alcotest.(check bool) "fast again after restart" true (d2 < 5_000_000L)
+
 (* ---- valley-free policy routing ---- *)
 
 (* Two providers P1, P2 with a (deliberately slow) peering link; customer
@@ -487,6 +600,54 @@ let test_valley_free_intra_domain_free () =
   let vf = Routing.compute ~policy:Routing.Valley_free topo in
   Alcotest.(check (option int64)) "a..y across one peering" (Some 3_000_000L)
     (Routing.distance vf ~from:a.nid ~to_:y.nid)
+
+(* Anycast membership mutation (a member withdrawing is what a crashed
+   neutralizer box looks like to routing) must be picked up by
+   [recompute_routes] under either policy. Group {c, e} seen from d:
+   c is 2 ms away (up-down, legal under valley-free); with c withdrawn
+   the survivor e is reached through the valley (4 ms) under [Shortest]
+   but only over the paid peering (32 ms) under [Valley_free]. *)
+let anycast_recompute_case policy () =
+  let topo, _, _, c, d, e = valley_world () in
+  let any = Ipaddr.of_string "10.200.0.1" in
+  Topology.register_anycast topo any [ c.nid; e.nid ];
+  let eng = Engine.create () in
+  let net = Network.create ~policy eng topo in
+  let hit = ref (-1) and at = ref 0L in
+  let handler _ nid _ =
+    hit := nid;
+    at := Engine.now eng
+  in
+  Network.set_handler net c.nid handler;
+  Network.set_handler net e.nid handler;
+  let send () =
+    let t0 = Engine.now eng in
+    Network.send net ~from:d.nid (Packet.make ~src:d.addr ~dst:any "probe");
+    Network.run net;
+    Int64.sub !at t0
+  in
+  ignore (send ());
+  Alcotest.(check int) "nearest member first" c.nid !hit;
+  Topology.remove_anycast_member topo any c.nid;
+  Network.recompute_routes net;
+  let dt = send () in
+  Alcotest.(check int) "re-homed to surviving member" e.nid !hit;
+  (match policy with
+   | Routing.Shortest ->
+     Alcotest.(check bool) "shortest cuts through the valley (~4 ms)" true
+       (dt < 10_000_000L)
+   | Routing.Valley_free ->
+     Alcotest.(check bool) "valley-free pays for peering (>= 32 ms)" true
+       (dt >= 32_000_000L));
+  Topology.add_anycast_member topo any c.nid;
+  Network.recompute_routes net;
+  ignore (send ());
+  Alcotest.(check int) "re-announced member wins again" c.nid !hit
+
+let test_anycast_recompute_shortest = anycast_recompute_case Routing.Shortest
+
+let test_anycast_recompute_valley_free =
+  anycast_recompute_case Routing.Valley_free
 
 (* ---- Host ---- *)
 
@@ -622,7 +783,11 @@ let () =
         [ Alcotest.test_case "timing" `Quick test_link_timing;
           Alcotest.test_case "serialization queue" `Quick
             test_link_serialization_queue;
-          Alcotest.test_case "drops" `Quick test_link_drops
+          Alcotest.test_case "drops" `Quick test_link_drops;
+          Alcotest.test_case "admin down refused+counted" `Quick
+            test_link_admin_down;
+          Alcotest.test_case "tail drop reason label" `Quick
+            test_link_queue_drop_reason
         ] );
       ( "topology-routing",
         [ Alcotest.test_case "addresses" `Quick test_topology_addresses;
@@ -638,7 +803,11 @@ let () =
           Alcotest.test_case "valley-free unreachable" `Quick
             test_valley_free_unreachable_without_peering;
           Alcotest.test_case "valley-free intra free" `Quick
-            test_valley_free_intra_domain_free
+            test_valley_free_intra_domain_free;
+          Alcotest.test_case "anycast withdraw/re-announce (shortest)" `Quick
+            test_anycast_recompute_shortest;
+          Alcotest.test_case "anycast withdraw/re-announce (valley-free)"
+            `Quick test_anycast_recompute_valley_free
         ] );
       ( "network",
         [ Alcotest.test_case "ttl" `Quick test_network_ttl;
@@ -649,7 +818,9 @@ let () =
           Alcotest.test_case "service queue" `Quick
             test_network_service_serializes;
           Alcotest.test_case "recompute routes" `Quick
-            test_recompute_routes_after_link_add
+            test_recompute_routes_after_link_add;
+          Alcotest.test_case "converge around down node" `Quick
+            test_routes_converge_around_down_node
         ] );
       ( "host",
         [ Alcotest.test_case "ports" `Quick test_host_ports;

@@ -192,6 +192,29 @@ let () =
     (q 0.50) (q 0.90) (q 0.95) (q 0.99) (q 1.0);
   close_out oc;
   print_endline "\nchaos recovery quantiles written to BENCH_chaos.json";
+  let overload = Experiments.E13_overload.run ~quick () in
+  Experiments.E13_overload.print overload;
+  (* The overload sweep is the graceful-degradation contract: goodput
+     held as a fraction of box capacity at each offered-load multiple,
+     with the machinery on and off, tracked release over release. *)
+  let oc = open_out "BENCH_overload.json" in
+  Printf.fprintf oc
+    "{\"seed\": %d, \"capacity_pps\": %d, \"duration_s\": %.1f, \"rows\": ["
+    overload.Experiments.E13_overload.seed overload.capacity_pps
+    overload.duration_s;
+  List.iteri
+    (fun i (r : Experiments.E13_overload.row) ->
+      Printf.fprintf oc
+        "%s{\"mode\": \"%s\", \"multiplier\": %.1f, \"goodput\": %d, \
+         \"goodput_pct\": %.1f, \"box_served\": %d, \"box_shed\": %d, \
+         \"give_ups\": %d, \"breaker_opens\": %d, \"p95_latency_ms\": %.2f}"
+        (if i = 0 then "" else ", ")
+        r.mode r.multiplier r.goodput r.goodput_pct r.box_served r.box_shed
+        r.give_ups r.breaker_opens r.p95_latency_ms)
+    overload.rows;
+  Printf.fprintf oc "]}\n";
+  close_out oc;
+  print_endline "overload degradation sweep written to BENCH_overload.json";
   (* Everything above instrumented the global obs registry; dump the
      whole snapshot next to the timing tables so a bench run leaves a
      machine-readable measurement artifact behind. *)

@@ -92,6 +92,8 @@ let run_e12 quick =
   Experiments.E12_chaos.(
     print (run ~duration_s:(if quick then 10.0 else 30.0) ()))
 
+let run_e13 quick = Experiments.E13_overload.(print (run ~quick ()))
+
 let run_ablations quick =
   Experiments.Ablations.(
     print (run ~min_time:(if quick then 0.1 else 0.4) ()))
@@ -109,6 +111,7 @@ let run_all quick =
   run_e10 quick;
   run_e11 quick;
   run_e12 quick;
+  run_e13 quick;
   run_ablations quick
 
 let demo () =
@@ -387,6 +390,14 @@ let run_chaos quick seed plan_file =
     ~prefixes:[ "core.client." ]
     ()
 
+(* `netneutral overload`: the E13 load sweep with explicit control over
+   seed and chaos composition. *)
+let run_overload quick seed chaos =
+  Experiments.E13_overload.(print (run ?seed ~chaos ~quick ()));
+  Experiments.Table.print_obs ~title:"overload: client-side degradation"
+    ~prefixes:[ "core.client." ]
+    ()
+
 let experiments =
   [ ("e1", "key-setup throughput (paper section 4)", run_e1);
     ("e2", "data-path vs vanilla forwarding throughput", run_e2);
@@ -400,6 +411,7 @@ let experiments =
     ("e10", "Glasnost-style discrimination detection (extension)", run_e10);
     ("e11", "3.6's residual vectors lose selectivity (extension)", run_e11);
     ("e12", "chaos: nearest neutralizer killed mid-flow (robustness)", run_e12);
+    ("e13", "overload: admission control + retry budgets vs collapse", run_e13);
     ("ablations", "design-choice ablations A1-A4", run_ablations);
     ("all", "every experiment in order", run_all)
   ]
@@ -472,6 +484,28 @@ let () =
             plan under a steady flow and print recovery-time statistics")
       Term.(const run_chaos $ quick_flag $ seed_opt $ plan_opt)
   in
+  let overload_cmd =
+    let seed_opt =
+      let doc =
+        "Overload seed. Identical seeds reproduce the sweep exactly, \
+         byte for byte; defaults to $(b,OVERLOAD_SEED), then 1."
+      in
+      Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+    in
+    let chaos_flag =
+      let doc =
+        "Crash and restart the neutralizer mid-sweep (composes the \
+         overload machinery with lib/fault)."
+      in
+      Arg.(value & flag & info [ "chaos" ] ~doc)
+    in
+    Cmd.v
+      (Cmd.info "overload"
+         ~doc:
+           "E13 graceful-degradation sweep: offered load 0.5x-10x box \
+            capacity, admission control + retry budgets ON vs OFF")
+      Term.(const run_overload $ quick_flag $ seed_opt $ chaos_flag)
+  in
   (* `netneutral --metrics out.json` with no subcommand is the quickest
      way to get a measured run: silent workload, JSON out. *)
   let default =
@@ -495,4 +529,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: stats_cmd
-           :: chaos_cmd :: exp_cmds)))
+           :: chaos_cmd :: overload_cmd :: exp_cmds)))

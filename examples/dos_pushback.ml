@@ -78,7 +78,7 @@ let run ~with_pushback =
   let pubkey =
     Crypto.Rsa.public_to_string (Scenario.Keyring.onetime 0).Crypto.Rsa.public
   in
-  let shim = Core.Shim.encode (Core.Shim.Key_setup_request { pubkey }) in
+  let shim = Core.Shim.encode (Core.Shim.Key_setup_request { pubkey; deadline = 0L }) in
   List.iteri
     (fun bi bot ->
       for i = 0 to 12_499 do

@@ -9,6 +9,10 @@ type config = {
   key_setup_attempts : int;
   grant_max_age : int64;
   blackhole_threshold : int;
+  setup_backoff : Overload.Backoff.config option;
+  retry_budget : Overload.Token_bucket.config option;
+  breaker : Overload.Breaker.config option;
+  overload_seed : int;
 }
 
 type counters = {
@@ -27,6 +31,7 @@ type counters = {
 
 type pending_setup = {
   onetime : Crypto.Rsa.private_key;
+  backoff : Overload.Backoff.t option;
   mutable waiters : (Keytab.grant option -> unit) list;
   mutable timer : Net.Engine.handle option;
 }
@@ -39,6 +44,9 @@ type t = {
   keytab : Keytab.t;
   sessions : Session.table;
   mh : Multihome.t;
+  prng : Fault.Prng.t;
+  retry_budget : Overload.Token_bucket.t option;
+  breakers : (Net.Ipaddr.t, Overload.Breaker.t) Hashtbl.t;
   site_cache : (string, Dns.Resolver.site_info) Hashtbl.t;
   pending_dns :
     (string, (Dns.Resolver.site_info option -> unit) list) Hashtbl.t;
@@ -80,7 +88,14 @@ let default_config ~rng =
     key_setup_timeout = 250_000_000L;
     key_setup_attempts = 3;
     grant_max_age = 3_240_000_000_000L (* 54 simulated minutes *);
-    blackhole_threshold = 25
+    blackhole_threshold = 25;
+    (* Legacy retry behaviour by default: immediate retransmit on
+       timeout, no budget, no breaker. Overload-hardened deployments opt
+       in to the three policies. *)
+    setup_backoff = None;
+    retry_budget = None;
+    breaker = None;
+    overload_seed = 1
   }
 
 let obs t = Net.Engine.obs (engine t)
@@ -91,6 +106,40 @@ let bump ?(labels = []) t name =
 let fail t on_error msg =
   t.ctrs.errors <- t.ctrs.errors + 1;
   match on_error with Some f -> f msg | None -> ()
+
+(* ---- Circuit breakers (one per neutralizer, when configured) ---- *)
+
+let breaker_for t addr =
+  match t.config.breaker with
+  | None -> None
+  | Some cfg ->
+    Some
+      (match Hashtbl.find_opt t.breakers addr with
+       | Some b -> b
+       | None ->
+         let b = Overload.Breaker.create ~config:cfg ~now:(now t) () in
+         Hashtbl.replace t.breakers addr b;
+         b)
+
+let breaker_allows t addr =
+  match breaker_for t addr with
+  | None -> true
+  | Some b -> Overload.Breaker.allow b ~now:(now t)
+
+let breaker_success t addr =
+  match breaker_for t addr with
+  | None -> ()
+  | Some b -> Overload.Breaker.record_success b ~now:(now t)
+
+let breaker_failure t addr =
+  match breaker_for t addr with
+  | None -> ()
+  | Some b ->
+    let before = Overload.Breaker.state b ~now:(now t) in
+    Overload.Breaker.record_failure b ~now:(now t);
+    let after = Overload.Breaker.state b ~now:(now t) in
+    if before <> after && after = Overload.Breaker.Open then
+      bump t "breaker_opened"
 
 (* ---- Key setup (§3.2) ---- *)
 
@@ -103,8 +152,24 @@ let finish_setup t ~neutralizer result =
     List.iter (fun k -> k result) (List.rev pending.waiters)
 
 let rec start_setup t ~neutralizer ~attempts =
+  let backoff =
+    Option.map
+      (fun config ->
+        (* One child stream per (neutralizer, setup incarnation): retry
+           timelines are independent across destinations and reproducible
+           from the client's overload seed alone. *)
+        let label =
+          Printf.sprintf "setup:%s#%d"
+            (Net.Ipaddr.to_string neutralizer)
+            t.ctrs.key_setups_started
+        in
+        Overload.Backoff.create ~config ~prng:(Fault.Prng.split t.prng ~label)
+          ())
+      t.config.setup_backoff
+  in
   let pending =
     { onetime = t.config.onetime_keygen ();
+      backoff;
       waiters = [];
       timer = None
     }
@@ -115,28 +180,61 @@ let rec start_setup t ~neutralizer ~attempts =
 
 and send_setup_packet t ~neutralizer ~pending ~attempts =
   let pubkey = Crypto.Rsa.public_to_string pending.onetime.Crypto.Rsa.public in
-  let shim = Shim.encode (Shim.Key_setup_request { pubkey }) in
+  (* Deadline propagation: the box learns when this attempt's reply
+     stops being useful and can shed the request instead of serving it
+     late (or not at all) under overload. *)
+  let deadline = Int64.add (now t) t.config.key_setup_timeout in
+  let shim = Shim.encode (Shim.Key_setup_request { pubkey; deadline }) in
   Net.Host.send t.host
     (Net.Packet.make ~protocol:Net.Packet.Shim ~shim
        ~src:(Net.Host.addr t.host) ~dst:neutralizer ~sent_at:(now t)
        ~app:"key-setup" "");
+  let give_up () =
+    t.ctrs.key_setups_failed <- t.ctrs.key_setups_failed + 1;
+    bump t "key_setups_failed";
+    bump t "rehomes" ~labels:[ ("reason", "setup-timeout") ];
+    Multihome.mark_failed t.mh neutralizer ~now:(now t);
+    breaker_failure t neutralizer;
+    finish_setup t ~neutralizer None
+  in
+  let still_current () =
+    match Hashtbl.find_opt t.pending_setups neutralizer with
+    | Some still -> still == pending
+    | None -> false
+  in
+  let retransmit () =
+    bump t "setup_retries";
+    send_setup_packet t ~neutralizer ~pending ~attempts:(attempts - 1)
+  in
   let timer =
     Net.Engine.schedule (engine t) ~delay:t.config.key_setup_timeout
       (fun () ->
-        match Hashtbl.find_opt t.pending_setups neutralizer with
-        | Some still when still == pending ->
-          if attempts > 1 then begin
-            bump t "setup_retries";
-            send_setup_packet t ~neutralizer ~pending ~attempts:(attempts - 1)
-          end
-          else begin
-            t.ctrs.key_setups_failed <- t.ctrs.key_setups_failed + 1;
-            bump t "key_setups_failed";
-            bump t "rehomes" ~labels:[ ("reason", "setup-timeout") ];
-            Multihome.mark_failed t.mh neutralizer ~now:(now t);
-            finish_setup t ~neutralizer None
-          end
-        | Some _ | None -> ())
+        if still_current () then
+          if attempts <= 1 then give_up ()
+          else
+            match pending.backoff with
+            | None -> retransmit ()
+            | Some b ->
+              (* Budgeted, paced retry: a token from the client-wide
+                 budget buys one retransmit, scheduled after a jittered
+                 exponential delay so a fleet of timed-out clients does
+                 not re-converge on the box in lockstep. *)
+              let within_budget =
+                match t.retry_budget with
+                | None -> true
+                | Some bucket -> Overload.Token_bucket.take bucket ~now:(now t)
+              in
+              if not within_budget then begin
+                bump t "retry_budget_exhausted";
+                give_up ()
+              end
+              else begin
+                let delay = Overload.Backoff.next b in
+                pending.timer <-
+                  Some
+                    (Net.Engine.schedule (engine t) ~delay (fun () ->
+                         if still_current () then retransmit ()))
+              end)
   in
   pending.timer <- Some timer
 
@@ -191,6 +289,7 @@ let send_data t ~neutralizer ~grant ~dest ~payload ~dscp ~app ~flow_id ~seq =
     bump t "rehomes" ~labels:[ ("reason", "blackhole") ];
     Keytab.invalidate t.keytab ~neutralizer;
     Multihome.mark_failed t.mh neutralizer ~now:(now t);
+    breaker_failure t neutralizer;
     Hashtbl.replace t.outstanding neutralizer 0
   end;
   Net.Host.send t.host
@@ -200,7 +299,19 @@ let send_data t ~neutralizer ~grant ~dest ~payload ~dscp ~app ~flow_id ~seq =
 
 let rec send_to t ~dest ~peer_key ~neutralizers ?(dscp = 0) ?(app = "")
     ?(flow_id = 0) ?(seq = 0) ?on_error payload =
-  match Multihome.choose t.mh ~now:(now t) neutralizers with
+  (* Fail fast while every provider's circuit is open: no packet leaves
+     the host, no retry traffic reaches the struggling boxes. *)
+  let pool =
+    match t.config.breaker with
+    | None -> neutralizers
+    | Some _ -> List.filter (breaker_allows t) neutralizers
+  in
+  if pool = [] && neutralizers <> [] then begin
+    bump t "circuit_open_rejections";
+    fail t on_error "all circuits open"
+  end
+  else
+  match Multihome.choose t.mh ~now:(now t) pool with
   | None -> fail t on_error "no neutralizer available"
   | Some neutralizer ->
     ensure_grant t ~neutralizer (function
@@ -305,6 +416,10 @@ let handle_key_setup_response t (p : Net.Packet.t) ~rsa_ct =
        Hashtbl.replace t.needs_refresh neutralizer true;
        t.ctrs.key_setups_completed <- t.ctrs.key_setups_completed + 1;
        t.ctrs.last_setup_at <- now t;
+       (* The box answered: clear its failure streaks everywhere so the
+          next incident starts from the base backoff, not the grown one. *)
+       Multihome.note_success t.mh neutralizer;
+       breaker_success t neutralizer;
        finish_setup t ~neutralizer (Some grant))
 
 let handle_incoming_data t (p : Net.Packet.t) (d : Shim.data) =
@@ -403,6 +518,7 @@ let reset t =
   Keytab.clear t.keytab;
   Session.clear_table t.sessions;
   Multihome.clear_failures t.mh;
+  Hashtbl.reset t.breakers;
   bump t "restarts"
 
 let create host ?keypair ?config ~seed () =
@@ -424,6 +540,14 @@ let create host ?keypair ?config ~seed () =
           ~backoff:config.multihome_backoff
           ~rng:(fun n -> Crypto.Drbg.generate drbg n)
           ();
+      prng = Fault.Prng.create ~seed:config.overload_seed;
+      retry_budget =
+        Option.map
+          (fun cfg ->
+            Overload.Token_bucket.create cfg
+              ~now:(Net.Engine.now (Net.Network.engine (Net.Host.network host))))
+          config.retry_budget;
+      breakers = Hashtbl.create 4;
       site_cache = Hashtbl.create 8;
       pending_dns = Hashtbl.create 4;
       pending_setups = Hashtbl.create 4;
@@ -447,3 +571,11 @@ let create host ?keypair ?config ~seed () =
   in
   Net.Host.on_shim host (fun _host p -> handle_shim t p);
   t
+
+let breaker_state t addr =
+  match Hashtbl.find_opt t.breakers addr with
+  | None -> None
+  | Some b -> Some (Overload.Breaker.state b ~now:(now t))
+
+let retry_budget_left t =
+  Option.map (fun b -> Overload.Token_bucket.tokens b ~now:(now t)) t.retry_budget

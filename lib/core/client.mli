@@ -41,6 +41,23 @@ type config = {
       (** §3.5 trial-and-error: after this many consecutive data packets
           through one neutralizer with nothing heard back, the client
           drops its grant, marks the neutralizer failed and re-homes *)
+  setup_backoff : Overload.Backoff.config option;
+      (** replace the immediate on-timeout retransmit with a jittered
+          capped exponential delay; [None] (default) keeps the legacy
+          immediate retransmit *)
+  retry_budget : Overload.Token_bucket.config option;
+      (** client-wide budget every setup retransmit must buy a token
+          from (only enforced together with [setup_backoff]); exhausting
+          it fails the setup instead of retrying — the anti-retry-storm
+          valve. [None] (default): unbudgeted *)
+  breaker : Overload.Breaker.config option;
+      (** per-neutralizer circuit breakers: repeated setup failures or
+          blackholes open the circuit and sends fail fast (re-homing to
+          the remaining providers) until a half-open probe succeeds.
+          [None] (default): no breakers *)
+  overload_seed : int;
+      (** seeds the SplitMix64 stream behind backoff jitter; equal seeds
+          give byte-identical retry timelines (see [Overload.Seed]) *)
 }
 
 type counters = {
@@ -135,3 +152,10 @@ val sessions : t -> Session.table
 val host : t -> Net.Host.t
 val rng : t -> int -> string
 val multihome : t -> Multihome.t
+
+val breaker_state : t -> Net.Ipaddr.t -> Overload.Breaker.state option
+(** The circuit state for a neutralizer — [None] when breakers are not
+    configured or no traffic has touched that address yet. *)
+
+val retry_budget_left : t -> float option
+(** Tokens remaining in the retry budget, when one is configured. *)

@@ -4,32 +4,55 @@ type strategy =
   | Weighted of (Net.Ipaddr.t * float) list
   | Prefer of Net.Ipaddr.t
 
-type t = {
-  strategy : strategy;
-  rng : int -> string;
-  backoff : int64;
-  mutable counter : int;
-  failed : (Net.Ipaddr.t, int64) Hashtbl.t; (* address -> backoff expiry *)
+type backoff_policy = {
+  base : int64;
+  cap : int64;
+  multiplier : float;
+  jitter : float;
 }
 
 let backoff = 30_000_000_000L
 
-let create ?(strategy = Round_robin) ?(backoff = backoff) ~rng () =
-  if Int64.compare backoff 0L < 0 then
+let default_policy =
+  { base = backoff; cap = 240_000_000_000L; multiplier = 2.0; jitter = 0.5 }
+
+type t = {
+  strategy : strategy;
+  rng : int -> string;
+  policy : backoff_policy;
+  mutable counter : int;
+  failed : (Net.Ipaddr.t, int64) Hashtbl.t; (* address -> backoff expiry *)
+  strikes : (Net.Ipaddr.t, int) Hashtbl.t; (* consecutive failures *)
+}
+
+let validate_policy p =
+  if Int64.compare p.base 0L < 0 then
     invalid_arg "Multihome.create: backoff must be non-negative";
-  { strategy; rng; backoff; counter = 0; failed = Hashtbl.create 4 }
+  if Int64.compare p.cap p.base < 0 then
+    invalid_arg "Multihome.create: cap must be >= base";
+  if p.multiplier < 1.0 then
+    invalid_arg "Multihome.create: multiplier must be >= 1.0";
+  if p.jitter < 0.0 || p.jitter >= 1.0 then
+    invalid_arg "Multihome.create: jitter must be in [0, 1)"
 
-let mark_failed t addr ~now =
-  Hashtbl.replace t.failed addr (Int64.add now t.backoff)
-
-let clear_failures t = Hashtbl.reset t.failed
-
-let failures t = Hashtbl.fold (fun a _ acc -> a :: acc) t.failed []
-
-let usable t ~now addr =
-  match Hashtbl.find_opt t.failed addr with
-  | None -> true
-  | Some until -> Int64.compare now until >= 0
+let create ?(strategy = Round_robin) ?backoff:b ?policy ~rng () =
+  let policy =
+    match (policy, b) with
+    | Some p, _ -> p
+    | None, Some b ->
+      (* Deprecated fixed-backoff knob: keep the first-failure window the
+         caller asked for, let repeats grow from there. *)
+      { default_policy with base = b; cap = Int64.mul 8L (Int64.max b 1L) }
+    | None, None -> default_policy
+  in
+  validate_policy policy;
+  { strategy;
+    rng;
+    policy;
+    counter = 0;
+    failed = Hashtbl.create 4;
+    strikes = Hashtbl.create 4
+  }
 
 let random_unit t =
   (* 24 random bits -> [0, 1). *)
@@ -37,6 +60,39 @@ let random_unit t =
   float_of_int
     ((Char.code s.[0] lsl 16) lor (Char.code s.[1] lsl 8) lor Char.code s.[2])
   /. 16777216.0
+
+let strikes t addr =
+  Option.value ~default:0 (Hashtbl.find_opt t.strikes addr)
+
+let mark_failed t addr ~now =
+  let k = strikes t addr + 1 in
+  Hashtbl.replace t.strikes addr k;
+  let p = t.policy in
+  (* Capped exponential window for the k-th consecutive failure ... *)
+  let d =
+    let f = Int64.to_float p.base *. (p.multiplier ** float_of_int (k - 1)) in
+    if f >= Int64.to_float p.cap then p.cap else Int64.of_float f
+  in
+  (* ... minus a truncated jittered slice, so a fleet of clients that
+     lost the same neutralizer together does not retry in lockstep. The
+     result stays in (d * (1 - jitter), d]. *)
+  let slice = Int64.of_float (p.jitter *. random_unit t *. Int64.to_float d) in
+  Hashtbl.replace t.failed addr (Int64.add now (Int64.sub d slice))
+
+let note_success t addr =
+  Hashtbl.remove t.failed addr;
+  Hashtbl.remove t.strikes addr
+
+let clear_failures t =
+  Hashtbl.reset t.failed;
+  Hashtbl.reset t.strikes
+
+let failures t = Hashtbl.fold (fun a _ acc -> a :: acc) t.failed []
+
+let usable t ~now addr =
+  match Hashtbl.find_opt t.failed addr with
+  | None -> true
+  | Some until -> Int64.compare now until >= 0
 
 let choose t ~now addrs =
   let live = List.filter (usable t ~now) addrs in

@@ -27,6 +27,7 @@ type counters = {
   mutable rejected : int;
   mutable rejected_bad_tag : int;
   mutable rejected_epoch : int;
+  mutable shed : int;
 }
 
 type qos_entry = { customer : Net.Ipaddr.t; expires : int64 }
@@ -40,6 +41,7 @@ type t = {
   mutable customers : Net.Ipaddr.Prefix.t list;
       (* customer attachments outside the domain prefix (multi-homing) *)
   mutable alive : bool;
+  mutable admission : Overload.Admission.t option;
 }
 
 let counters t = t.ctrs
@@ -55,6 +57,12 @@ let obs t = Net.Engine.obs (Net.Network.engine t.net)
    (core.neutralizer) so a run's behaviour is exportable without
    hand-written hooks. *)
 let bump ?labels t name = Obs.Counter.inc (Obs.Registry.counter (obs t) ?labels name)
+
+let shed t ~reason ~klass =
+  t.ctrs.shed <- t.ctrs.shed + 1;
+  bump t
+    ~labels:[ ("reason", reason); ("class", Overload.Admission.klass_name klass) ]
+    "core.neutralizer.shed_total"
 
 let reject t reason =
   t.ctrs.rejected <- t.ctrs.rejected + 1;
@@ -74,7 +82,17 @@ let in_own_domain t addr =
   || List.exists (Net.Ipaddr.Prefix.mem addr) t.customers
 
 (* Key setup (§3.2): one RSA encryption, stateless. *)
-let handle_key_setup t (p : Net.Packet.t) pubkey =
+let handle_key_setup t (p : Net.Packet.t) pubkey ~deadline =
+  (* Already-expired work is shed before the RSA cost is paid: the
+     client stopped listening for this reply, so serving it would burn
+     box CPU to produce zero goodput. Only checked when admission
+     control is enabled — the vanilla box ignores deadlines. *)
+  if
+    t.admission <> None
+    && Int64.compare deadline 0L <> 0
+    && Int64.compare deadline (Net.Engine.now (engine t)) < 0
+  then shed t ~reason:"deadline" ~klass:Overload.Admission.Setup
+  else
   Net.Network.service ~kind:"key_setup" t.net t.node.Net.Topology.nid
     ~cost:t.config.costs.key_setup (fun () ->
       match t.config.offload_helper with
@@ -224,7 +242,8 @@ let dispatch t (p : Net.Packet.t) =
         | None | Some None -> reject t "malformed"
         | Some (Some shim) ->
           (match shim with
-           | Shim.Key_setup_request { pubkey } -> handle_key_setup t p pubkey
+           | Shim.Key_setup_request { pubkey; deadline } ->
+             handle_key_setup t p pubkey ~deadline
            | Shim.Data d when not d.from_customer ->
              if in_own_domain t p.src then reject t "data-from-inside"
              else handle_outside_data t p d
@@ -269,6 +288,50 @@ let restart t =
     bump t "core.neutralizer.restarts"
   end
 
+(* Classify a packet the way the admission gate prices it: key setups
+   are the expensive RSA class, established shim data (and QoS-NAT
+   traffic to a leased dynamic address) the cheap AES class. The gate
+   runs on ingress links, which also carry transit traffic — anything
+   not addressed to this box is Other and always admitted. *)
+let classify t (p : Net.Packet.t) =
+  if Net.Ipaddr.equal p.dst t.config.anycast then
+    match p.protocol with
+    | Net.Packet.Shim ->
+      (match Option.map Shim.decode p.shim with
+       | Some (Some (Shim.Key_setup_request { deadline; _ })) ->
+         (Overload.Admission.Setup, deadline)
+       | Some (Some (Shim.Data _ | Shim.Return _)) ->
+         (Overload.Admission.Data, 0L)
+       | _ -> (Overload.Admission.Other, 0L))
+    | Net.Packet.Udp | Net.Packet.Tcp | Net.Packet.Icmp ->
+      (Overload.Admission.Other, 0L)
+  else if Hashtbl.mem t.qos p.dst then (Overload.Admission.Data, 0L)
+  else (Overload.Admission.Other, 0L)
+
+let enable_admission t adm =
+  t.admission <- Some adm;
+  let nid = t.node.Net.Topology.nid in
+  let gate (p : Net.Packet.t) =
+    let klass, deadline = classify t p in
+    match klass with
+    | Overload.Admission.Other -> true
+    | Overload.Admission.Setup | Overload.Admission.Data ->
+      (match
+         Overload.Admission.admit adm
+           ~now:(Net.Engine.now (engine t))
+           ~backlog:(Net.Network.backlog t.net nid)
+           ~klass ~src:p.src ~deadline ()
+       with
+       | Overload.Admission.Admit -> true
+       | Overload.Admission.Shed reason ->
+         shed t ~reason ~klass;
+         false)
+  in
+  Net.Network.iter_links t.net (fun _from to_ link ->
+      if to_ = nid then Net.Link.set_gate link (Some gate))
+
+let admission t = t.admission
+
 let attach net node config =
   let t =
     { net;
@@ -284,11 +347,13 @@ let attach net node config =
           offloaded = 0;
           rejected = 0;
           rejected_bad_tag = 0;
-          rejected_epoch = 0
+          rejected_epoch = 0;
+          shed = 0
         };
       qos = Hashtbl.create 16;
       customers = [];
-      alive = true
+      alive = true;
+      admission = None
     }
   in
   Net.Network.set_handler net node.Net.Topology.nid (fun _net _nid p ->

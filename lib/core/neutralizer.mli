@@ -39,6 +39,10 @@ type counters = {
   mutable rejected : int;
   mutable rejected_bad_tag : int;
   mutable rejected_epoch : int;
+  mutable shed : int;
+      (** work refused by admission control or deadline expiry — every
+          shed is also counted in the
+          [core.neutralizer.shed_total{reason, class}] obs family *)
 }
 
 type t
@@ -61,6 +65,21 @@ val qos_mappings : t -> (Net.Ipaddr.t * Net.Ipaddr.t) list
 (** Current (dynamic address, customer) pairs — exposed for tests, which
     assert the dynamic address is flow-identifiable but not
     customer-identifiable to outsiders. *)
+
+val enable_admission : t -> Overload.Admission.t -> unit
+(** Turn on graceful degradation: installs an admission gate
+    ({!Net.Link.set_gate}) on every ingress link of the box's node and
+    starts honouring shim-carried deadlines at dispatch. The gate prices
+    box-destined traffic by class — RSA key setups shed first, before
+    established AES data — using the box's CPU backlog
+    ({!Net.Network.backlog}) and a per-source-prefix rate; transit
+    traffic through the node is never shed. Each refusal is counted in
+    [core.neutralizer.shed_total{reason, class}] and as a link-level
+    ["shed"] drop, never as queue congestion. Call after the topology's
+    links exist (e.g. after {!Net.Network.recompute_routes}). *)
+
+val admission : t -> Overload.Admission.t option
+(** The admission controller installed by {!enable_admission}, if any. *)
 
 val alive : t -> bool
 

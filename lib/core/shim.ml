@@ -11,7 +11,7 @@ type data = {
 }
 
 type t =
-  | Key_setup_request of { pubkey : string }
+  | Key_setup_request of { pubkey : string; deadline : int64 }
   | Key_setup_response of { rsa_ct : string }
   | Data of data
   | Return of { epoch : int; nonce : string; initiator : Net.Ipaddr.t }
@@ -84,8 +84,9 @@ let encode t =
   let buf = Buffer.create 24 in
   Buffer.add_char buf (Char.chr (kind_tag t));
   (match t with
-   | Key_setup_request { pubkey } ->
+   | Key_setup_request { pubkey; deadline } ->
      Buffer.add_string buf "\x00\x00\x00";
+     put_u64 buf deadline;
      put_blob buf pubkey
    | Key_setup_response { rsa_ct } ->
      Buffer.add_string buf "\x00\x00\x00";
@@ -155,9 +156,12 @@ let decode s =
     let nlen = Protocol.nonce_len in
     match kind with
     | 0 ->
-      (match get_blob s 4 with
-       | Some (pubkey, _) -> Some (Key_setup_request { pubkey })
-       | None -> None)
+      if len < 12 then None
+      else
+        (match get_blob s 12 with
+         | Some (pubkey, _) ->
+           Some (Key_setup_request { pubkey; deadline = get_u64 s 4 })
+         | None -> None)
     | 1 ->
       (match get_blob s 4 with
        | Some (rsa_ct, _) -> Some (Key_setup_response { rsa_ct })

@@ -32,8 +32,12 @@ type data = {
 }
 
 type t =
-  | Key_setup_request of { pubkey : string }
-      (** outside source -> neutralizer: one-time RSA public key (§3.2) *)
+  | Key_setup_request of { pubkey : string; deadline : int64 }
+      (** outside source -> neutralizer: one-time RSA public key (§3.2).
+          [deadline] is the sender's absolute expiry for the whole setup
+          exchange (simulated ns; [0L] = none); the box sheds requests it
+          cannot answer in time rather than paying the RSA cost for a
+          reply the client will discard. *)
   | Key_setup_response of { rsa_ct : string }
       (** neutralizer -> source: E_S(epoch, nonce, Ks) *)
   | Data of data

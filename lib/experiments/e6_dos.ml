@@ -1,3 +1,5 @@
+type defense = No_defense | Pushback | Shedding
+
 type row = {
   condition : string;
   ann_delivered : int;
@@ -5,14 +7,14 @@ type row = {
   ann_mean_latency_ms : float;
   box_key_setups : int;
   flood_dropped_upstream : int;
+  box_shed : int;
 }
 
 type result = { rows : row list }
 
 let reply_flow = 2
 
-let run_condition ~condition ~with_pushback ~attackers ~attack_pps ~duration_s
-    =
+let run_condition ~condition ~defense ~attackers ~attack_pps ~duration_s =
   (* The paper's box does 24.4k key setups per second; 40 us per setup
      models that class of hardware, so the flood genuinely overloads it. *)
   let costs =
@@ -55,12 +57,32 @@ let run_condition ~condition ~with_pushback ~attackers ~attack_pps ~duration_s
         release_after = 5_000_000_000L
       }
   in
-  if with_pushback then begin
-    Net.Network.add_middleware net world.Scenario.World.cogent
-      (Pushback.Controller.middleware controller);
-    Pushback.Controller.propagate controller net world.Scenario.World.att;
-    Pushback.Controller.propagate controller net botnet
-  end;
+  (match defense with
+   | No_defense -> ()
+   | Pushback ->
+     Net.Network.add_middleware net world.Scenario.World.cogent
+       (Pushback.Controller.middleware controller);
+     Pushback.Controller.propagate controller net world.Scenario.World.att;
+     Pushback.Controller.propagate controller net botnet
+   | Shedding ->
+     (* Local admission control at the boxes themselves — no upstream
+        cooperation needed. The setup backlog bound keeps the RSA queue
+        to ~50 requests (2 ms at 40 us each) and each source /24 is
+        capped well below a single bot's rate, while established data
+        traffic is only shed above a 200 ms backlog it never reaches. *)
+     List.iter
+       (fun box ->
+         Core.Neutralizer.enable_admission box
+           (Overload.Admission.create
+              ~config:
+                { Overload.Admission.max_backlog_setup = 2_000_000L;
+                  max_backlog_data = 200_000_000L;
+                  per_source_rate = 100.0;
+                  per_source_burst = 50.0;
+                  prefix_bits = 24
+                }
+              ()))
+       world.Scenario.World.boxes);
   (* Ann's steady neutralized exchange with Google. *)
   let google = Scenario.World.site world "google" in
   Core.Server.set_responder google.Scenario.World.server (fun srv ~peer payload ->
@@ -89,7 +111,8 @@ let run_condition ~condition ~with_pushback ~attackers ~attack_pps ~duration_s
     Crypto.Rsa.public_to_string (Scenario.Keyring.onetime 0).Crypto.Rsa.public
   in
   let shim =
-    Core.Shim.encode (Core.Shim.Key_setup_request { pubkey = pubkey_blob })
+    Core.Shim.encode
+      (Core.Shim.Key_setup_request { pubkey = pubkey_blob; deadline = 0L })
   in
   let per_bot_interval = float_of_int attackers /. float_of_int attack_pps in
   List.iteri
@@ -122,19 +145,27 @@ let run_condition ~condition ~with_pushback ~attackers ~attack_pps ~duration_s
       (fun acc b -> acc + (Core.Neutralizer.counters b).key_setups)
       0 world.Scenario.World.boxes
   in
+  let box_shed =
+    List.fold_left
+      (fun acc b -> acc + (Core.Neutralizer.counters b).shed)
+      0 world.Scenario.World.boxes
+  in
   { condition;
     ann_delivered = delivered;
     ann_sent = n_sends;
     ann_mean_latency_ms = latency;
     box_key_setups = box_setups;
-    flood_dropped_upstream = Pushback.Controller.limited controller
+    flood_dropped_upstream = Pushback.Controller.limited controller;
+    box_shed
   }
 
 let run ?(attackers = 10) ?(attack_pps = 50_000) ?(duration_s = 3.0) () =
   { rows =
-      [ run_condition ~condition:"flood, no defense" ~with_pushback:false
+      [ run_condition ~condition:"flood, no defense" ~defense:No_defense
           ~attackers ~attack_pps ~duration_s;
-        run_condition ~condition:"flood + pushback" ~with_pushback:true
+        run_condition ~condition:"flood + pushback" ~defense:Pushback
+          ~attackers ~attack_pps ~duration_s;
+        run_condition ~condition:"flood + local shedding" ~defense:Shedding
           ~attackers ~attack_pps ~duration_s
       ]
   }
@@ -142,10 +173,10 @@ let run ?(attackers = 10) ?(attack_pps = 50_000) ?(duration_s = 3.0) () =
 let print r =
   Table.print
     ~title:
-      "E6: key-setup flood at the neutralizer, with and without pushback"
+      "E6: key-setup flood at the neutralizer — pushback vs local shedding"
     ~header:
       [ "condition"; "ann replies"; "reply latency"; "box RSA ops";
-        "flood limited"
+        "flood limited"; "box sheds"
       ]
     (List.map
        (fun row ->
@@ -153,7 +184,8 @@ let print r =
            Printf.sprintf "%d/%d" row.ann_delivered row.ann_sent;
            Printf.sprintf "%.1fms" row.ann_mean_latency_ms;
            string_of_int row.box_key_setups;
-           string_of_int row.flood_dropped_upstream
+           string_of_int row.flood_dropped_upstream;
+           string_of_int row.box_shed
          ])
        r.rows)
 ;

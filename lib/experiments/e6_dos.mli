@@ -10,7 +10,11 @@
     address while Ann holds a steady neutralized exchange with Google.
     With pushback on, the controller protecting Cogent identifies the
     key-setup aggregates per source /24, rate-limits them, and propagates
-    the limits upstream into AT&T. *)
+    the limits upstream into AT&T. The third condition replaces upstream
+    cooperation with purely local admission control at the boxes
+    ({!Core.Neutralizer.enable_admission}): expensive key setups shed by
+    backlog and source rate before established data traffic, so the two
+    defenses are comparable in one table. *)
 
 type row = {
   condition : string;
@@ -19,6 +23,9 @@ type row = {
   ann_mean_latency_ms : float;
   box_key_setups : int;  (** RSA operations the box actually performed *)
   flood_dropped_upstream : int;  (** flood packets killed inside AT&T *)
+  box_shed : int;
+      (** requests refused by the boxes' local admission control
+          (nonzero only under the shedding condition) *)
 }
 
 type result = { rows : row list }

@@ -6,9 +6,11 @@ type stats = {
   max_queue_bytes : int;
 }
 
-type drop_reason = Queue_full | Link_down
+type drop_reason = Queue_full | Link_down | Shed
 
 type send_result = Sent | Dropped of drop_reason
+
+type gate = Packet.t -> bool
 
 type perturb = Packet.t -> (Packet.t * int64) list
 
@@ -28,9 +30,11 @@ type t = {
   c_dropped_bytes : Obs.Counter.t;
   c_drop_queue : Obs.Counter.t;
   c_drop_down : Obs.Counter.t;
+  c_drop_shed : Obs.Counter.t;
   h_queue : Obs.Histogram.t;
   mutable up : bool;
   mutable perturb : perturb option;
+  mutable gate : gate option;
   mutable queued_bytes : int;
   mutable busy_until : int64;
   mutable max_queue_bytes : int;
@@ -71,10 +75,12 @@ let create engine ~bandwidth_bps ~latency ?(queue_bytes = 128 * 1024) ?label
     c_dropped_bytes = Obs.Registry.counter obs ~labels "net.link.dropped_bytes";
     c_drop_queue = drop_counter "queue";
     c_drop_down = drop_counter "down";
+    c_drop_shed = drop_counter "shed";
     h_queue =
       Obs.Registry.histogram obs ~labels "net.link.queue_occupancy_bytes";
     up = true;
     perturb = None;
+    gate = None;
     queued_bytes = 0;
     busy_until = 0L;
     max_queue_bytes = 0;
@@ -94,12 +100,16 @@ let transmission_time t bytes =
 let set_up t up = t.up <- up
 let is_up t = t.up
 let set_perturb t f = t.perturb <- f
+let set_gate t f = t.gate <- f
 
 let count_drop t bytes reason =
   Obs.Counter.inc t.c_dropped_packets;
   Obs.Counter.add t.c_dropped_bytes bytes;
   Obs.Counter.inc
-    (match reason with Queue_full -> t.c_drop_queue | Link_down -> t.c_drop_down)
+    (match reason with
+    | Queue_full -> t.c_drop_queue
+    | Link_down -> t.c_drop_down
+    | Shed -> t.c_drop_shed)
 
 (* End of serialization: hand the packet to the propagation stage, where
    the fault layer's perturbation hook may lose, corrupt, duplicate or
@@ -120,6 +130,15 @@ let send t p =
   if not t.up then begin
     count_drop t bytes Link_down;
     Dropped Link_down
+  end
+  else if
+    (* Policy shedding is checked before the queue so an admission
+       decision is never misread as congestion (distinct drop reason,
+       distinct counter). *)
+    match t.gate with Some g -> not (g p) | None -> false
+  then begin
+    count_drop t bytes Shed;
+    Dropped Shed
   end
   else if t.queued_bytes + bytes > t.queue_capacity then begin
     count_drop t bytes Queue_full;

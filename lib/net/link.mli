@@ -34,8 +34,13 @@ type stats = {
 type drop_reason =
   | Queue_full  (** drop-tail: the FIFO was full on arrival *)
   | Link_down  (** the link is administratively down (fault injection) *)
+  | Shed  (** refused by an admission gate ({!set_gate}) — policy, not
+              congestion *)
 
 type send_result = Sent | Dropped of drop_reason
+
+type gate = Packet.t -> bool
+(** An admission gate; [false] sheds the packet before it is queued. *)
 
 type perturb = Packet.t -> (Packet.t * int64) list
 (** A perturbation maps one transmitted packet to the list of
@@ -72,6 +77,13 @@ val is_up : t -> bool
 val set_perturb : t -> perturb option -> unit
 (** Installs (or clears) the fault-injection hook run at the start of
     propagation. The default is the identity ([[(p, 0L)]]). *)
+
+val set_gate : t -> gate option -> unit
+(** Installs (or clears) an admission gate consulted on every {!send}
+    while the link is up, before the queue-capacity check. A refused
+    packet is dropped as [Shed] and counted under
+    [net.link.drops{reason="shed"}], keeping load shedding separable
+    from [Queue_full] congestion in every drop table. *)
 
 val stats : t -> stats
 val queue_occupancy : t -> int

@@ -10,6 +10,7 @@ type counters = {
   mutable dropped_queue : int;
   mutable dropped_link_down : int;
   mutable dropped_node_down : int;
+  mutable dropped_shed : int;
 }
 
 type t = {
@@ -43,7 +44,8 @@ let drop t reason =
    | `Policy -> t.ctrs.dropped_policy <- t.ctrs.dropped_policy + 1
    | `Queue -> t.ctrs.dropped_queue <- t.ctrs.dropped_queue + 1
    | `Link_down -> t.ctrs.dropped_link_down <- t.ctrs.dropped_link_down + 1
-   | `Node_down -> t.ctrs.dropped_node_down <- t.ctrs.dropped_node_down + 1);
+   | `Node_down -> t.ctrs.dropped_node_down <- t.ctrs.dropped_node_down + 1
+   | `Shed -> t.ctrs.dropped_shed <- t.ctrs.dropped_shed + 1);
   let label =
     match reason with
     | `No_route -> "no_route"
@@ -52,6 +54,7 @@ let drop t reason =
     | `Queue -> "queue"
     | `Link_down -> "link_down"
     | `Node_down -> "node_down"
+    | `Shed -> "shed"
   in
   Obs.Counter.inc
     (Obs.Registry.counter (Engine.obs t.engine)
@@ -86,6 +89,7 @@ let drop_of_send_result t = function
   | Link.Sent -> ()
   | Link.Dropped Link.Queue_full -> drop t `Queue
   | Link.Dropped Link.Link_down -> drop t `Link_down
+  | Link.Dropped Link.Shed -> drop t `Shed
 
 let fire_taps t did p =
   match Hashtbl.find_opt t.taps did with
@@ -195,6 +199,11 @@ let service ?(kind = "other") t nid ~cost k =
   Hashtbl.replace t.busy nid finish;
   ignore (Engine.schedule t.engine ~delay:(Int64.sub finish now) (fun () -> k ()))
 
+let backlog t nid =
+  let now = Engine.now t.engine in
+  let busy = Option.value ~default:0L (Hashtbl.find_opt t.busy nid) in
+  if Int64.compare busy now > 0 then Int64.sub busy now else 0L
+
 (* Instantiate link objects for any topology edges added since creation,
    then rebuild the shortest-path tables. *)
 let recompute_routes t =
@@ -244,7 +253,8 @@ let create ?(policy = Routing.Shortest) engine topo =
           dropped_policy = 0;
           dropped_queue = 0;
           dropped_link_down = 0;
-          dropped_node_down = 0
+          dropped_node_down = 0;
+          dropped_shed = 0
         }
     }
   in

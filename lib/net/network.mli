@@ -63,6 +63,11 @@ val service :
     [kind=<kind>] ([kind] defaults to ["other"]) so per-hop processing
     cost can be broken out by crypto-op kind. *)
 
+val backlog : t -> Topology.node_id -> int64
+(** Outstanding CPU time (ns) already committed to [nid]'s service
+    queue: how long a request admitted now would wait before being
+    served. The admission-control input for load shedding. *)
+
 type counters = {
   mutable delivered : int;
   mutable dropped_no_route : int;
@@ -73,6 +78,9 @@ type counters = {
       (** sends refused by an administratively-down link *)
   mutable dropped_node_down : int;
       (** packets arriving at (or originated by) a crashed node *)
+  mutable dropped_shed : int;
+      (** sends refused by a link admission gate ({!Link.set_gate}) —
+          deliberate load shedding, not congestion *)
 }
 
 val counters : t -> counters

@@ -1,0 +1,83 @@
+type klass = Setup | Data | Other
+
+let klass_name = function Setup -> "setup" | Data -> "data" | Other -> "other"
+
+type verdict = Admit | Shed of string
+
+type config = {
+  max_backlog_setup : int64;
+  max_backlog_data : int64;
+  per_source_rate : float;
+  per_source_burst : float;
+  prefix_bits : int;
+}
+
+let default =
+  {
+    max_backlog_setup = 20_000_000L;
+    max_backlog_data = 200_000_000L;
+    per_source_rate = 200.0;
+    per_source_burst = 50.0;
+    prefix_bits = 24;
+  }
+
+type t = {
+  config : config;
+  buckets : (Net.Ipaddr.Prefix.t, Token_bucket.t) Hashtbl.t;
+  shed_by_reason : (string, int) Hashtbl.t;
+}
+
+let create ?(config = default) () =
+  if Int64.compare config.max_backlog_setup 0L <= 0 then
+    invalid_arg "Admission: max_backlog_setup must be positive";
+  if Int64.compare config.max_backlog_data config.max_backlog_setup < 0 then
+    invalid_arg "Admission: max_backlog_data must be >= max_backlog_setup";
+  if config.per_source_rate < 0.0 then
+    invalid_arg "Admission: per_source_rate must be non-negative";
+  if config.per_source_burst <= 0.0 then
+    invalid_arg "Admission: per_source_burst must be positive";
+  if config.prefix_bits < 0 || config.prefix_bits > 32 then
+    invalid_arg "Admission: prefix_bits must be in [0, 32]";
+  { config; buckets = Hashtbl.create 64; shed_by_reason = Hashtbl.create 4 }
+
+let shed t reason =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.shed_by_reason reason) in
+  Hashtbl.replace t.shed_by_reason reason (n + 1);
+  Shed reason
+
+let source_bucket t src ~now =
+  let prefix = Net.Ipaddr.Prefix.make src t.config.prefix_bits in
+  match Hashtbl.find_opt t.buckets prefix with
+  | Some b -> b
+  | None ->
+      let b =
+        Token_bucket.create
+          { rate = t.config.per_source_rate; burst = t.config.per_source_burst }
+          ~now
+      in
+      Hashtbl.replace t.buckets prefix b;
+      b
+
+let admit t ~now ~backlog ~klass ~src ?(deadline = 0L) () =
+  match klass with
+  | Other -> Admit
+  | Data ->
+      if Int64.compare backlog t.config.max_backlog_data > 0 then
+        shed t "backlog"
+      else Admit
+  | Setup ->
+      (* Dead on arrival: even with zero service time the reply would
+         miss the propagated deadline once the backlog drains. *)
+      if
+        Int64.compare deadline 0L <> 0
+        && Int64.compare deadline (Int64.add now backlog) < 0
+      then shed t "deadline"
+      else if not (Token_bucket.take (source_bucket t src ~now) ~now) then
+        shed t "source-rate"
+      else if Int64.compare backlog t.config.max_backlog_setup > 0 then
+        shed t "backlog"
+      else Admit
+
+let sheds t =
+  Hashtbl.fold (fun r n acc -> (r, n) :: acc) t.shed_by_reason []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

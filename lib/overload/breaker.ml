@@ -1,0 +1,97 @@
+type config = {
+  failure_threshold : int;
+  open_timeout : int64;
+  half_open_probes : int;
+}
+
+let default =
+  { failure_threshold = 5; open_timeout = 1_000_000_000L; half_open_probes = 1 }
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable failures : int;  (* consecutive failures while Closed *)
+  mutable opened_at : int64;  (* valid while Open *)
+  mutable probes_inflight : int;  (* valid while Half_open *)
+  mutable history : (int64 * state) list;  (* newest first *)
+}
+
+let create ?(config = default) ~now () =
+  if config.failure_threshold <= 0 then
+    invalid_arg "Breaker: failure_threshold must be positive";
+  if Int64.compare config.open_timeout 0L <= 0 then
+    invalid_arg "Breaker: open_timeout must be positive";
+  if config.half_open_probes <= 0 then
+    invalid_arg "Breaker: half_open_probes must be positive";
+  {
+    config;
+    state = Closed;
+    failures = 0;
+    opened_at = 0L;
+    probes_inflight = 0;
+    history = [ (now, Closed) ];
+  }
+
+let transition t ~now state =
+  t.state <- state;
+  t.history <- (now, state) :: t.history
+
+(* Promote Open -> Half_open once the timeout has elapsed. All entry
+   points funnel through here so the timeout is observed lazily, without
+   an engine timer per breaker. *)
+let tick t ~now =
+  match t.state with
+  | Open
+    when Int64.compare (Int64.sub now t.opened_at) t.config.open_timeout >= 0
+    ->
+      t.probes_inflight <- 0;
+      transition t ~now Half_open
+  | _ -> ()
+
+let state t ~now =
+  tick t ~now;
+  t.state
+
+let trip t ~now =
+  t.opened_at <- now;
+  t.failures <- 0;
+  transition t ~now Open
+
+let allow t ~now =
+  tick t ~now;
+  match t.state with
+  | Closed -> true
+  | Open -> false
+  | Half_open ->
+      if t.probes_inflight < t.config.half_open_probes then begin
+        t.probes_inflight <- t.probes_inflight + 1;
+        true
+      end
+      else false
+
+let record_success t ~now =
+  tick t ~now;
+  match t.state with
+  | Closed -> t.failures <- 0
+  | Half_open ->
+      t.failures <- 0;
+      transition t ~now Closed
+  | Open -> ()
+
+let record_failure t ~now =
+  tick t ~now;
+  match t.state with
+  | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.config.failure_threshold then trip t ~now
+  | Half_open -> trip t ~now
+  | Open -> ()
+
+let history t = List.rev t.history

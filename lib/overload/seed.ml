@@ -1,0 +1,8 @@
+let env () =
+  match Sys.getenv_opt "OVERLOAD_SEED" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None ->
+          Printf.ksprintf failwith "OVERLOAD_SEED must be an integer, got %S" s)

@@ -1,0 +1,7 @@
+(** Seed plumbing for reproducible overload runs. *)
+
+val env : unit -> int
+(** Read [OVERLOAD_SEED] from the environment; defaults to [1] when
+    unset and fails loudly when malformed. Two runs with the same seed
+    produce byte-identical experiment tables (the jitter and load
+    schedules derive every draw from it via {!Fault.Prng.split}). *)

@@ -17,11 +17,13 @@ let default_config =
     release_after = 10_000_000_000L
   }
 
+(* Rate enforcement delegates to the shared overload token bucket; this
+   record keeps only the detection state (windowed rate measurement and
+   the armed flag). *)
 type bucket = {
   mutable count : int;
   mutable window_start : int64;
-  mutable tokens : float;
-  mutable last_refill : int64;
+  limiter : Overload.Token_bucket.t;
   mutable armed : bool;
   mutable last_hot : int64;
 }
@@ -55,8 +57,10 @@ let bucket t key =
     let b =
       { count = 0;
         window_start = now;
-        tokens = t.config.limit_pps;
-        last_refill = now;
+        limiter =
+          Overload.Token_bucket.create
+            { rate = t.config.limit_pps; burst = t.config.limit_pps }
+            ~now;
         armed = false;
         last_hot = 0L
       }
@@ -85,11 +89,7 @@ let observe t key b =
 
 let limit_decision t b =
   let now = Net.Engine.now t.engine in
-  let dt = Int64.to_float (Int64.sub now b.last_refill) *. 1e-9 in
-  b.last_refill <- now;
-  b.tokens <- Float.min t.config.limit_pps (b.tokens +. (dt *. t.config.limit_pps));
-  if b.tokens >= 1.0 then begin
-    b.tokens <- b.tokens -. 1.0;
+  if Overload.Token_bucket.take b.limiter ~now then begin
     t.n_admitted <- t.n_admitted + 1;
     Net.Network.Forward
   end

@@ -40,8 +40,12 @@ let gen_shim =
          { epoch; nonce; enc_addr; tag; key_request; from_customer; refresh })
   in
   oneof
-    [ map (fun pubkey -> Core.Shim.Key_setup_request { pubkey })
-        (string_size ~gen:char (int_bound 100));
+    [ map2
+        (fun pubkey deadline ->
+          Core.Shim.Key_setup_request
+            { pubkey; deadline = Int64.of_int deadline })
+        (string_size ~gen:char (int_bound 100))
+        (int_bound 1_000_000_000);
       map (fun rsa_ct -> Core.Shim.Key_setup_response { rsa_ct })
         (string_size ~gen:char (int_bound 100));
       gen_data;

@@ -27,7 +27,7 @@ let test_classify_dpi () =
     (Classifier.classify (obs ~payload:"GET /index.html" ()))
 
 let test_classify_shim () =
-  let ks = Core.Shim.encode (Core.Shim.Key_setup_request { pubkey = "k" }) in
+  let ks = Core.Shim.encode (Core.Shim.Key_setup_request { pubkey = "k"; deadline = 0L }) in
   Alcotest.check app "key setup recognizable (3.6)" Classifier.Key_setup
     (Classifier.classify (obs ~protocol:Net.Packet.Shim ~shim:ks ()));
   let d =

@@ -10,7 +10,7 @@ let cfg =
 let obs ?(src = "10.6.0.5") ?(key_setup = false) () =
   let shim =
     if key_setup then
-      Some (Core.Shim.encode (Core.Shim.Key_setup_request { pubkey = "k" }))
+      Some (Core.Shim.encode (Core.Shim.Key_setup_request { pubkey = "k"; deadline = 0L }))
     else None
   in
   Net.Observation.of_packet ~now:0L
@@ -141,7 +141,7 @@ let test_propagate_shares_state () =
   Pushback.Controller.propagate c net up;
   let delivered = ref 0 in
   Net.Network.set_handler net dst.nid (fun _ _ _ -> incr delivered);
-  let shim = Core.Shim.encode (Core.Shim.Key_setup_request { pubkey = "k" }) in
+  let shim = Core.Shim.encode (Core.Shim.Key_setup_request { pubkey = "k"; deadline = 0L }) in
   for i = 0 to 9_999 do
     ignore
       (Net.Engine.schedule e

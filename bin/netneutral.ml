@@ -398,6 +398,22 @@ let run_overload quick seed chaos =
     ~prefixes:[ "core.client." ]
     ()
 
+(* `netneutral bench`: the perf regression harness — before/after rates
+   for every hot path the performance pass touched, written as
+   BENCH_perf.json. *)
+let run_bench quick out =
+  let r = Experiments.Perf.run ~min_time:(if quick then 0.05 else 0.4) () in
+  Experiments.Perf.print r;
+  match open_out out with
+  | exception Sys_error msg ->
+    Printf.eprintf "netneutral: cannot write bench results: %s\n" msg;
+    exit 1
+  | oc ->
+    output_string oc (Experiments.Perf.to_json r);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "bench results written to %s\n" out
+
 let experiments =
   [ ("e1", "key-setup throughput (paper section 4)", run_e1);
     ("e2", "data-path vs vanilla forwarding throughput", run_e2);
@@ -484,6 +500,22 @@ let () =
             plan under a steady flow and print recovery-time statistics")
       Term.(const run_chaos $ quick_flag $ seed_opt $ plan_opt)
   in
+  let bench_cmd =
+    let out_opt =
+      let doc = "Write the JSON results to $(docv)." in
+      Arg.(
+        value & opt string "BENCH_perf.json"
+        & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "bench"
+         ~doc:
+           "Perf regression harness: pooled vs cold one-time keys, \
+            windowed vs binary Montgomery exponentiation, session vs \
+            stateless datapath, unboxed vs boxed event heap, sim \
+            events/s, and obs counter overhead")
+      Term.(const run_bench $ quick_flag $ out_opt)
+  in
   let overload_cmd =
     let seed_opt =
       let doc =
@@ -529,4 +561,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: stats_cmd
-           :: chaos_cmd :: overload_cmd :: exp_cmds)))
+           :: chaos_cmd :: overload_cmd :: bench_cmd :: exp_cmds)))

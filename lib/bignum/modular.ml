@@ -23,9 +23,11 @@ let pow_mod_generic b e m =
 let pow_mod b e m =
   (* Montgomery pays a context setup (one wide reduction for R^2), so it
      wins only when the exponent is long enough to amortize it — private
-     exponents, primality witnesses. Tiny public exponents (e = 3, 17,
-     65537) stay on the division path, which is exactly the paper's
-     "as few as two multiplications" argument for e = 3. *)
+     exponents, primality witnesses; those then run the fixed-window
+     ladder with dedicated squarings (see Nat.Montgomery.pow_mod). Tiny
+     public exponents (e = 3, 17, 65537) stay on the division path,
+     which is exactly the paper's "as few as two multiplications"
+     argument for e = 3. *)
   if Nat.bit_length e <= 20 then pow_mod_generic b e m
   else begin
     match Nat.Montgomery.create m with

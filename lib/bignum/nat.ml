@@ -473,12 +473,143 @@ module Montgomery = struct
     (* mont(aR, b) = a*b mod m: one conversion in, none out. *)
     norm (mont ctx (to_mont ctx a) (pad ctx (rem b ctx.m_nat)))
 
-  let pow_mod ctx b e =
+  (* Dedicated squaring path: a product-scanning square computing the
+     full 2n-limb product with the symmetry a_i*a_j = a_j*a_i (roughly
+     half the limb multiplications of [mont a a]), followed by a
+     word-by-word Montgomery reduction. Bounds: a doubled limb product
+     is < 2^53, every accumulator stays under 2^55, inside the 63-bit
+     native int. *)
+  let mont_sqr ctx a =
+    let n = ctx.n and m = ctx.m in
+    let t = Array.make ((2 * n) + 1) 0 in
+    for i = 0 to n - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        (* Diagonal term, then the doubled off-diagonal row. *)
+        let s = t.(2 * i) + (ai * ai) in
+        t.(2 * i) <- s land mask;
+        let carry = ref (s lsr base_bits) in
+        for j = i + 1 to n - 1 do
+          let s = t.(i + j) + (2 * ai * a.(j)) + !carry in
+          t.(i + j) <- s land mask;
+          carry := s lsr base_bits
+        done;
+        let k = ref (i + n) in
+        while !carry <> 0 do
+          let s = t.(!k) + !carry in
+          t.(!k) <- s land mask;
+          carry := s lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    (* Montgomery reduction: make t divisible by base^n, shift down. *)
+    for i = 0 to n - 1 do
+      let u = t.(i) * ctx.m' land mask in
+      if u <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to n - 1 do
+          let s = t.(i + j) + (u * m.(j)) + !carry in
+          t.(i + j) <- s land mask;
+          carry := s lsr base_bits
+        done;
+        let k = ref (i + n) in
+        while !carry <> 0 do
+          let s = t.(!k) + !carry in
+          t.(!k) <- s land mask;
+          carry := s lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    (* The reduced value lives in limbs n .. 2n and is < 2m: subtract m
+       until fully reduced (at most twice, as in [mont]). *)
+    let r = Array.sub t n (n + 1) in
+    let ge_m () =
+      if r.(n) > 0 then true
+      else begin
+        let rec cmp i =
+          if i < 0 then true
+          else if r.(i) > m.(i) then true
+          else if r.(i) < m.(i) then false
+          else cmp (i - 1)
+        in
+        cmp (n - 1)
+      end
+    in
+    while ge_m () do
+      let borrow = ref 0 in
+      for j = 0 to n - 1 do
+        let d = r.(j) - m.(j) - !borrow in
+        if d < 0 then begin
+          r.(j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          r.(j) <- d;
+          borrow := 0
+        end
+      done;
+      r.(n) <- r.(n) - !borrow
+    done;
+    Array.sub r 0 n
+
+  let sqr_mod ctx a =
+    from_mont ctx (mont_sqr ctx (to_mont ctx (rem a ctx.m_nat)))
+
+  (* Binary square-and-multiply, kept as the measured baseline for the
+     windowed ladder below (bench/perf) and as the small-exponent path
+     where a 16-entry table would cost more than it saves. *)
+  let pow_mod_binary ctx b e =
     let b = to_mont ctx b in
     let acc = ref (to_mont ctx one) in
     for i = bit_length e - 1 downto 0 do
-      acc := mont ctx !acc !acc;
+      acc := mont_sqr ctx !acc;
       if testbit e i then acc := mont ctx !acc b
     done;
     from_mont ctx !acc
+
+  let window_bits = 4
+
+  (* 4-bit digit of [e] at window [w], possibly straddling a limb
+     boundary (windows are 4 bits, limbs 26). *)
+  let digit e w =
+    let bit = window_bits * w in
+    let li = bit / base_bits and off = bit mod base_bits in
+    let le = Array.length e in
+    let lo = if li < le then e.(li) lsr off else 0 in
+    let hi =
+      if off > base_bits - window_bits && li + 1 < le then
+        e.(li + 1) lsl (base_bits - off)
+      else 0
+    in
+    (lo lor hi) land 0xf
+
+  let pow_mod ctx b e =
+    let nbits = bit_length e in
+    (* Below ~3 windows the table setup (14 multiplications) outweighs
+       the saved per-bit multiplies. *)
+    if nbits <= 12 then pow_mod_binary ctx b e
+    else begin
+      let b = to_mont ctx b in
+      (* g.(d) = b^d in the Montgomery domain, d = 1 .. 15. *)
+      let g = Array.make 16 b in
+      let b2 = mont_sqr ctx b in
+      for d = 2 to 15 do
+        g.(d) <- (if d land 1 = 0 then mont ctx g.(d - 1) b else mont ctx g.(d - 2) b2)
+      done;
+      let top = (nbits - 1) / window_bits in
+      (* The top window contains the exponent's leading set bit, so its
+         digit is non-zero and seeds the accumulator directly. *)
+      let acc = ref g.(digit e top) in
+      for w = top - 1 downto 0 do
+        acc := mont_sqr ctx !acc;
+        acc := mont_sqr ctx !acc;
+        acc := mont_sqr ctx !acc;
+        acc := mont_sqr ctx !acc;
+        let d = digit e w in
+        if d <> 0 then acc := mont ctx !acc g.(d)
+      done;
+      from_mont ctx !acc
+    end
 end

@@ -100,6 +100,19 @@ module Montgomery : sig
   (** [(a * b) mod m] through the Montgomery domain; inputs need not be
       reduced. *)
 
+  val sqr_mod : ctx -> t -> t
+  (** [a^2 mod m] through the dedicated squaring path (product-scanning
+      square, about half the limb multiplications of a general
+      multiplication, then a word-by-word Montgomery reduction). *)
+
   val pow_mod : ctx -> t -> t -> t
-  (** [b^e mod m]. *)
+  (** [b^e mod m]. Fixed-window (4-bit) left-to-right ladder over a
+      16-entry table of powers, with all squarings on the dedicated
+      squaring path; falls back to {!pow_mod_binary} for exponents short
+      enough that the table setup would dominate. *)
+
+  val pow_mod_binary : ctx -> t -> t -> t
+  (** The classic binary square-and-multiply ladder — the measured
+      baseline the windowed {!pow_mod} is property-tested and benchmarked
+      against. *)
 end

@@ -18,16 +18,21 @@ let small_primes =
 (* [n mod d] for a small divisor without allocating a quotient. *)
 let rem_small n d = Nat.to_int (Nat.rem n (Nat.of_int d))
 
-let miller_rabin_witness n ~d ~s a =
+(* [ctx] is a Montgomery context for [n], shared across every witness of
+   one candidate: the context setup (a wide reduction for R^2) is paid
+   once per candidate instead of once per round, and the squaring chain
+   runs on the dedicated Montgomery squaring path instead of wide
+   Euclidean division. *)
+let miller_rabin_witness ctx n ~d ~s a =
   (* Returns true when [a] witnesses compositeness of [n]. *)
-  let x = Modular.pow_mod a d n in
+  let x = Nat.Montgomery.pow_mod ctx a d in
   let n1 = Nat.pred n in
   if Nat.equal x Nat.one || Nat.equal x n1 then false
   else begin
     let rec go i x =
       if i >= s - 1 then true
       else begin
-        let x = Modular.mul_mod x x n in
+        let x = Nat.Montgomery.sqr_mod ctx x in
         if Nat.equal x n1 then false else go (i + 1) x
       end
     in
@@ -46,6 +51,12 @@ let is_probable_prime ?(rounds = 24) n state =
     let rec split d s = if Nat.is_odd d then (d, s) else split (Nat.shift_right d 1) (s + 1) in
     let d, s = split n1 0 in
     let bits = Nat.bit_length n in
+    (* n is odd and > 2 here, so the context always exists. *)
+    let ctx =
+      match Nat.Montgomery.create n with
+      | Some ctx -> ctx
+      | None -> invalid_arg "Prime.is_probable_prime: even candidate"
+    in
     let rec random_base () =
       let a = Nat.random ~bits state in
       if Nat.compare a Nat.two < 0 || Nat.compare a n1 >= 0 then random_base ()
@@ -53,7 +64,7 @@ let is_probable_prime ?(rounds = 24) n state =
     in
     let rec rounds_left k =
       if k = 0 then true
-      else if miller_rabin_witness n ~d ~s (random_base ()) then false
+      else if miller_rabin_witness ctx n ~d ~s (random_base ()) then false
       else rounds_left (k - 1)
     in
     rounds_left rounds

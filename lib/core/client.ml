@@ -3,6 +3,7 @@ type config = {
   dns_encrypt : Crypto.Rsa.public option;
   dns_verify : Crypto.Rsa.public option;
   onetime_keygen : unit -> Crypto.Rsa.private_key;
+  keypool : Keypool.t option;
   strategy : Multihome.strategy;
   multihome_backoff : int64;
   key_setup_timeout : int64;
@@ -83,6 +84,7 @@ let default_config ~rng =
       (fun () ->
         Crypto.Rsa.generate ~e:Protocol.rsa_public_exponent
           ~bits:Protocol.onetime_rsa_bits (Lazy.force keygen_state));
+    keypool = None;
     strategy = Multihome.Round_robin;
     multihome_backoff = Multihome.backoff;
     key_setup_timeout = 250_000_000L;
@@ -167,13 +169,14 @@ let rec start_setup t ~neutralizer ~attempts =
           ())
       t.config.setup_backoff
   in
-  let pending =
-    { onetime = t.config.onetime_keygen ();
-      backoff;
-      waiters = [];
-      timer = None
-    }
+  let onetime =
+    (* Paper §4: "the key generation can be precomputed offline" — with a
+       pool configured, setup latency pays a queue pop, not Rsa.generate. *)
+    match t.config.keypool with
+    | Some pool -> Keypool.take pool
+    | None -> t.config.onetime_keygen ()
   in
+  let pending = { onetime; backoff; waiters = []; timer = None } in
   Hashtbl.replace t.pending_setups neutralizer pending;
   t.ctrs.key_setups_started <- t.ctrs.key_setups_started + 1;
   send_setup_packet t ~neutralizer ~pending ~attempts
@@ -262,10 +265,9 @@ let send_data t ~neutralizer ~grant ~dest ~payload ~dscp ~app ~flow_id ~seq =
   let key_request =
     Option.value ~default:false (Hashtbl.find_opt t.needs_refresh neutralizer)
   in
-  let enc_addr, tag =
-    Datapath.blind ~ks:grant.Keytab.key ~epoch:grant.epoch ~nonce:grant.nonce
-      dest
-  in
+  (* Per-grant session: key schedule and mask slice were expanded once
+     when the grant was installed, not per packet. *)
+  let enc_addr, tag = Datapath.blind_session (Keytab.session t.keytab grant) dest in
   let shim =
     Shim.encode
       (Shim.Data
@@ -449,8 +451,8 @@ let handle_incoming_data t (p : Net.Packet.t) (d : Shim.data) =
              Keytab.put t.keytab ~neutralizer grant;
              Hashtbl.replace t.needs_refresh neutralizer false;
              (match
-                Datapath.unblind ~ks:key ~epoch ~nonce ~enc_addr:d.enc_addr
-                  ~tag:d.tag
+                Datapath.unblind_session (Keytab.session t.keytab grant)
+                  ~enc_addr:d.enc_addr ~tag:d.tag
               with
               | None -> ()
               | Some peer ->

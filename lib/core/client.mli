@@ -26,6 +26,12 @@ type config = {
   dns_verify : Crypto.Rsa.public option;
   onetime_keygen : unit -> Crypto.Rsa.private_key;
       (** override to pool/pregenerate one-time keys in tests and benches *)
+  keypool : Keypool.t option;
+      (** when set, key setup draws one-time keys from this pool
+          ({!Keypool.take}) instead of calling [onetime_keygen] directly —
+          the §4 "precomputed offline" optimization; the pool's own
+          generator decides the key material. [None] (default): every
+          setup pays keygen inline *)
   strategy : Multihome.strategy;
   multihome_backoff : int64;
       (** how long a neutralizer that timed out or blackholed is avoided

@@ -32,7 +32,7 @@ let blind ~ks ~epoch ~nonce addr =
   let aes = Crypto.Aes.expand_key ks in
   let mask = mask_block ~aes ~epoch ~nonce in
   let octets = Net.Ipaddr.to_octets addr in
-  let enc = Crypto.Bytes_util.xor octets (String.sub mask 0 4) in
+  let enc = Crypto.Bytes_util.xor_prefix octets mask in
   Obs.Counter.inc c_masked;
   (enc, tag_of ~aes ~nonce octets)
 
@@ -47,7 +47,7 @@ let unblind_with_schedule ~aes ~epoch ~nonce ~enc_addr ~tag =
   end
   else begin
     let mask = mask_block ~aes ~epoch ~nonce in
-    let octets = Crypto.Bytes_util.xor enc_addr (String.sub mask 0 4) in
+    let octets = Crypto.Bytes_util.xor_prefix enc_addr mask in
     if Crypto.Bytes_util.equal_ct tag (tag_of ~aes ~nonce octets) then begin
       Obs.Counter.inc c_unmasked;
       Some (Net.Ipaddr.of_octets octets)
@@ -60,6 +60,67 @@ let unblind_with_schedule ~aes ~epoch ~nonce ~enc_addr ~tag =
 
 let unblind ~ks ~epoch ~nonce ~enc_addr ~tag =
   unblind_with_schedule ~aes:(expand ~ks) ~epoch ~nonce ~enc_addr ~tag
+
+(* ---- Precomputed per-grant sessions ----
+
+   Everything in {!blind}/{!unblind} that depends only on the grant —
+   AES key schedule, the 4-byte mask slice, the fixed 12 trailing bytes
+   of the tag block — is computed once here, leaving two scratch blocks
+   and one AES call per packet. Not thread-safe: the scratch buffers are
+   reused across calls (the simulator is single-threaded). *)
+
+type session = {
+  s_aes : Crypto.Aes.key;
+  s_mask4 : string;  (* first [tag_len] bytes of the session mask block *)
+  s_tag_block : Bytes.t;
+      (* addr(4) | nonce(8) | "tag\x00": the address prefix is rewritten
+         per packet, the trailing 12 bytes never change *)
+  s_tag_out : Bytes.t;
+}
+
+let make_session ~ks ~epoch ~nonce =
+  if String.length ks <> key_len then
+    invalid_arg "Datapath.make_session: bad key";
+  if String.length nonce <> nonce_len then
+    invalid_arg "Datapath.make_session: bad nonce";
+  let aes = Crypto.Aes.expand_key ks in
+  let mask = mask_block ~aes ~epoch ~nonce in
+  let tag_block = Bytes.create Crypto.Aes.block_size in
+  Bytes.blit_string nonce 0 tag_block 4 nonce_len;
+  Bytes.blit_string "tag\x00" 0 tag_block (4 + nonce_len) 4;
+  { s_aes = aes;
+    s_mask4 = String.sub mask 0 4;
+    s_tag_block = tag_block;
+    s_tag_out = Bytes.create Crypto.Aes.block_size
+  }
+
+let session_tag s octets =
+  Bytes.blit_string octets 0 s.s_tag_block 0 4;
+  Crypto.Aes.encrypt_bytes s.s_aes ~src:s.s_tag_block ~dst:s.s_tag_out;
+  Bytes.sub_string s.s_tag_out 0 Protocol.tag_len
+
+let blind_session s addr =
+  let octets = Net.Ipaddr.to_octets addr in
+  let enc = Crypto.Bytes_util.xor octets s.s_mask4 in
+  Obs.Counter.inc c_masked;
+  (enc, session_tag s octets)
+
+let unblind_session s ~enc_addr ~tag =
+  if String.length enc_addr <> 4 || String.length tag <> Protocol.tag_len then begin
+    Obs.Counter.inc c_unmask_failures;
+    None
+  end
+  else begin
+    let octets = Crypto.Bytes_util.xor enc_addr s.s_mask4 in
+    if Crypto.Bytes_util.equal_ct tag (session_tag s octets) then begin
+      Obs.Counter.inc c_unmasked;
+      Some (Net.Ipaddr.of_octets octets)
+    end
+    else begin
+      Obs.Counter.inc c_unmask_failures;
+      None
+    end
+  end
 
 let grant_plaintext epoch nonce ks =
   String.make 1 (Char.chr (epoch land 0xff)) ^ nonce ^ ks

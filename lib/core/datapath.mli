@@ -33,6 +33,26 @@ val unblind_with_schedule :
     A3 ablation measures what the paper's statelessness costs per
     packet. *)
 
+(** {1 Precomputed sessions}
+
+    Grant-side fast path: everything in {!blind}/{!unblind} that depends
+    only on the grant (AES key schedule, the 4-byte mask slice, the
+    constant tail of the tag block) is precomputed once, so the per-packet
+    cost drops to one AES block and a 4-byte XOR. Outputs are byte
+    identical to the stateless functions — property-tested in the suite.
+    Sessions hold reusable scratch buffers and are not thread-safe. *)
+
+type session
+
+val make_session : ks:string -> epoch:int -> nonce:string -> session
+
+val blind_session : session -> Net.Ipaddr.t -> string * string
+(** Same result as {!blind} with the session's grant. *)
+
+val unblind_session :
+  session -> enc_addr:string -> tag:string -> Net.Ipaddr.t option
+(** Same result as {!unblind} with the session's grant. *)
+
 (** {1 Key setup (§3.2)} *)
 
 val key_setup_response :

@@ -1,0 +1,79 @@
+type t = {
+  target : int;
+  generate : unit -> Crypto.Rsa.private_key;
+  q : Crypto.Rsa.private_key Queue.t;
+  g_depth : Obs.Gauge.t;
+  g_hit_rate : Obs.Gauge.t;
+  c_hits : Obs.Counter.t;
+  c_misses : Obs.Counter.t;
+  c_generated : Obs.Counter.t;
+  mutable stop_refill : (unit -> unit) option;
+}
+
+let create ?(obs = Obs.Registry.default) ~target ~generate () =
+  if target <= 0 then invalid_arg "Keypool.create: target must be positive";
+  { target;
+    generate;
+    q = Queue.create ();
+    g_depth = Obs.Registry.gauge obs "core.keypool.depth";
+    g_hit_rate = Obs.Registry.gauge obs "core.keypool.hit_rate";
+    c_hits = Obs.Registry.counter obs "core.keypool.hits";
+    c_misses = Obs.Registry.counter obs "core.keypool.misses";
+    c_generated = Obs.Registry.counter obs "core.keypool.keys_generated";
+    stop_refill = None
+  }
+
+let depth t = Queue.length t.q
+let target t = t.target
+let hits t = Obs.Counter.value t.c_hits
+let misses t = Obs.Counter.value t.c_misses
+
+let note_depth t = Obs.Gauge.set_int t.g_depth (Queue.length t.q)
+
+let note_hit_rate t =
+  let h = hits t and m = misses t in
+  if h + m > 0 then
+    Obs.Gauge.set t.g_hit_rate (float_of_int h /. float_of_int (h + m))
+
+let refill_one t =
+  if Queue.length t.q < t.target then begin
+    Queue.push (t.generate ()) t.q;
+    Obs.Counter.inc t.c_generated;
+    note_depth t;
+    true
+  end
+  else false
+
+let fill t = while refill_one t do () done
+
+let take t =
+  match Queue.take_opt t.q with
+  | Some k ->
+    Obs.Counter.inc t.c_hits;
+    note_depth t;
+    note_hit_rate t;
+    k
+  | None ->
+    (* Pool dry: fall back to generating inline — exactly the cold path
+       the pool exists to avoid, so it counts as a miss. *)
+    Obs.Counter.inc t.c_misses;
+    note_hit_rate t;
+    t.generate ()
+
+let put t k =
+  Queue.push k t.q;
+  note_depth t
+
+let attach t engine ~period =
+  (match t.stop_refill with Some stop -> stop () | None -> ());
+  (* One key per tick: keygen cost is spread across simulated idle gaps
+     instead of landing on a key-setup's latency path. The handler stays
+     O(1) per event so it never stalls the event loop. *)
+  t.stop_refill <- Some (Net.Engine.every engine ~period (fun () -> ignore (refill_one t)))
+
+let detach t =
+  match t.stop_refill with
+  | Some stop ->
+    stop ();
+    t.stop_refill <- None
+  | None -> ()

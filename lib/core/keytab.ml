@@ -3,9 +3,29 @@ type grant = { epoch : int; nonce : string; key : string; obtained_at : int64 }
 type t = {
   current_tbl : (Net.Ipaddr.t, grant) Hashtbl.t;
   by_nonce : (string, grant) Hashtbl.t;
+  datapath_sessions : (string, Datapath.session) Hashtbl.t;
+      (* memoized per-grant transform state (AES schedule, mask slice);
+         keyed by the grant material itself so it is correct regardless of
+         which neutralizer or index the grant was found through *)
 }
 
-let create () = { current_tbl = Hashtbl.create 8; by_nonce = Hashtbl.create 32 }
+let create () =
+  { current_tbl = Hashtbl.create 8;
+    by_nonce = Hashtbl.create 32;
+    datapath_sessions = Hashtbl.create 32
+  }
+
+let session_key g =
+  String.make 1 (Char.chr (g.epoch land 0xff)) ^ g.nonce ^ g.key
+
+let session t g =
+  let k = session_key g in
+  match Hashtbl.find_opt t.datapath_sessions k with
+  | Some s -> s
+  | None ->
+    let s = Datapath.make_session ~ks:g.key ~epoch:g.epoch ~nonce:g.nonce in
+    Hashtbl.replace t.datapath_sessions k s;
+    s
 
 let nonce_key ~neutralizer ~nonce = Net.Ipaddr.to_octets neutralizer ^ nonce
 
@@ -27,8 +47,10 @@ let drop_older_than t ~now ~max_age =
   let stale =
     Hashtbl.fold
       (fun k g acc ->
-        if Int64.compare (Int64.sub now g.obtained_at) max_age > 0 then
+        if Int64.compare (Int64.sub now g.obtained_at) max_age > 0 then begin
+          Hashtbl.remove t.datapath_sessions (session_key g);
           k :: acc
+        end
         else acc)
       t.by_nonce []
   in
@@ -47,4 +69,5 @@ let grants t = Hashtbl.fold (fun k g acc -> (k, g) :: acc) t.current_tbl []
 
 let clear t =
   Hashtbl.reset t.current_tbl;
-  Hashtbl.reset t.by_nonce
+  Hashtbl.reset t.by_nonce;
+  Hashtbl.reset t.datapath_sessions

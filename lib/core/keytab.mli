@@ -33,6 +33,12 @@ val invalidate : t -> neutralizer:Net.Ipaddr.t -> unit
 (** Forget the current grant for [neutralizer] (e.g. the path looks
     dead), keeping the nonce index so late return packets still open. *)
 
+val session : t -> grant -> Datapath.session
+(** Memoized {!Datapath.make_session} for [grant]: the AES key schedule
+    and mask slice are expanded on first use and cached for the grant's
+    lifetime, so the per-packet send path pays neither. Evicted together
+    with the grant. *)
+
 val drop_older_than : t -> now:int64 -> max_age:int64 -> unit
 val grants : t -> (Net.Ipaddr.t * grant) list
 

@@ -6,13 +6,17 @@ let padded_len ~bucket body_len =
 
 let frame tag ?(bucket = default_bucket) payload =
   if bucket <= 0 then invalid_arg "Masking: bucket must be positive";
-  let buf = Buffer.create bucket in
-  Buffer.add_char buf tag;
-  Crypto.Bytes_util.put_u32 buf (String.length payload);
-  Buffer.add_string buf payload;
-  let target = padded_len ~bucket (String.length payload) in
-  Buffer.add_string buf (String.make (target - Buffer.length buf) '\x00');
-  Buffer.contents buf
+  let len = String.length payload in
+  (* One zero-filled allocation at the final size; header and payload are
+     blitted over it, the tail is the padding. *)
+  let b = Bytes.make (padded_len ~bucket len) '\x00' in
+  Bytes.set b 0 tag;
+  Bytes.set b 1 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 3 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 4 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 b 5 len;
+  Bytes.unsafe_to_string b
 
 let wrap ?bucket payload = frame 'D' ?bucket payload
 let dummy ?bucket () = frame 'X' ?bucket ""
@@ -41,6 +45,9 @@ module Pacer = struct
     emit : string -> unit;
     deadline : int64;
     queue : string Queue.t;
+    dummy_frame : string;
+        (* dummies are all identical for a bucket size; pay the frame
+           allocation once, not per idle tick *)
     mutable stopped : bool;
     mutable n_data : int;
     mutable n_dummies : int;
@@ -55,7 +62,7 @@ module Pacer = struct
          t.emit (wrap ~bucket:t.bucket payload)
        | None ->
          t.n_dummies <- t.n_dummies + 1;
-         t.emit (dummy ~bucket:t.bucket ()));
+         t.emit t.dummy_frame);
       ignore (Net.Engine.schedule t.engine ~delay:t.interval (tick t))
     end
 
@@ -69,6 +76,7 @@ module Pacer = struct
         emit;
         deadline = Int64.add (Net.Engine.now engine) duration;
         queue = Queue.create ();
+        dummy_frame = dummy ~bucket ();
         stopped = false;
         n_data = 0;
         n_dummies = 0

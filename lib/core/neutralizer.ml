@@ -42,6 +42,17 @@ type t = {
       (* customer attachments outside the domain prefix (multi-homing) *)
   mutable alive : bool;
   mutable admission : Overload.Admission.t option;
+  (* Per-packet obs counters, resolved once at attach: the hot path pays
+     a single mutable-int bump, not a registry (name, labels) hash lookup
+     per packet. Labeled families (rejects, sheds) stay on the lookup
+     path — they are error paths. *)
+  c_key_setups : Obs.Counter.t;
+  c_data_forwarded : Obs.Counter.t;
+  c_data_returned : Obs.Counter.t;
+  c_reverse_grants : Obs.Counter.t;
+  c_qos_grants : Obs.Counter.t;
+  c_qos_natted : Obs.Counter.t;
+  c_offloaded : Obs.Counter.t;
 }
 
 let counters t = t.ctrs
@@ -103,7 +114,7 @@ let handle_key_setup t (p : Net.Packet.t) pubkey ~deadline =
             ~src:p.src
         in
         t.ctrs.offloaded <- t.ctrs.offloaded + 1;
-        bump t "core.neutralizer.offloaded";
+        Obs.Counter.inc t.c_offloaded;
         let shim =
           Shim.encode
             (Shim.Offload { pubkey; epoch; nonce; key; requester = p.src })
@@ -121,7 +132,7 @@ let handle_key_setup t (p : Net.Packet.t) pubkey ~deadline =
          | None -> reject t "bad-pubkey"
          | Some (shim, _grant) ->
            t.ctrs.key_setups <- t.ctrs.key_setups + 1;
-           bump t "core.neutralizer.key_setups";
+           Obs.Counter.inc t.c_key_setups;
            send t
              (Net.Packet.make ~protocol:Net.Packet.Shim ~shim
                 ~src:t.config.anycast ~dst:p.src ~dscp:p.dscp
@@ -154,7 +165,7 @@ let handle_outside_data t (p : Net.Packet.t) (d : Shim.data) =
         end
       | Datapath.Forwarded p ->
         t.ctrs.data_forwarded <- t.ctrs.data_forwarded + 1;
-        bump t "core.neutralizer.data_forwarded";
+        Obs.Counter.inc t.c_data_forwarded;
         send t p)
 
 let handle_return t (p : Net.Packet.t) ~epoch ~nonce ~initiator =
@@ -169,7 +180,7 @@ let handle_return t (p : Net.Packet.t) ~epoch ~nonce ~initiator =
         | Datapath.Rejected reason -> reject t reason
         | Datapath.Forwarded p ->
           t.ctrs.data_returned <- t.ctrs.data_returned + 1;
-          bump t "core.neutralizer.data_returned";
+          Obs.Counter.inc t.c_data_returned;
           send t p)
 
 let handle_reverse_key t (p : Net.Packet.t) ~outside =
@@ -180,7 +191,7 @@ let handle_reverse_key t (p : Net.Packet.t) ~outside =
         ~src:outside
     in
     t.ctrs.reverse_grants <- t.ctrs.reverse_grants + 1;
-    bump t "core.neutralizer.reverse_grants";
+    Obs.Counter.inc t.c_reverse_grants;
     let shim = Shim.encode (Shim.Reverse_key_response { epoch; nonce; key }) in
     send t
       (Net.Packet.make ~protocol:Net.Packet.Shim ~shim ~src:t.config.anycast
@@ -207,7 +218,7 @@ let handle_qos_request t (p : Net.Packet.t) ~lease =
         expires = Int64.add (Net.Engine.now (engine t)) lease
       };
     t.ctrs.qos_grants <- t.ctrs.qos_grants + 1;
-    bump t "core.neutralizer.qos_grants";
+    Obs.Counter.inc t.c_qos_grants;
     let shim = Shim.encode (Shim.Qos_address_response { addr = dyn; lease }) in
     send t
       (Net.Packet.make ~protocol:Net.Packet.Shim ~shim ~src:t.config.anycast
@@ -227,7 +238,7 @@ let handle_qos_nat t (p : Net.Packet.t) entry =
     Net.Network.service ~kind:"vanilla_forward" t.net t.node.Net.Topology.nid
       ~cost:t.config.costs.vanilla_forward (fun () ->
         t.ctrs.qos_natted <- t.ctrs.qos_natted + 1;
-        bump t "core.neutralizer.qos_natted";
+        Obs.Counter.inc t.c_qos_natted;
         send t { p with dst = entry.customer })
 
 let dispatch t (p : Net.Packet.t) =
@@ -333,10 +344,21 @@ let enable_admission t adm =
 let admission t = t.admission
 
 let attach net node config =
+  let reg = Net.Engine.obs (Net.Network.engine net) in
   let t =
     { net;
       node;
       config;
+      c_key_setups = Obs.Registry.counter reg "core.neutralizer.key_setups";
+      c_data_forwarded =
+        Obs.Registry.counter reg "core.neutralizer.data_forwarded";
+      c_data_returned =
+        Obs.Registry.counter reg "core.neutralizer.data_returned";
+      c_reverse_grants =
+        Obs.Registry.counter reg "core.neutralizer.reverse_grants";
+      c_qos_grants = Obs.Registry.counter reg "core.neutralizer.qos_grants";
+      c_qos_natted = Obs.Registry.counter reg "core.neutralizer.qos_natted";
+      c_offloaded = Obs.Registry.counter reg "core.neutralizer.offloaded";
       ctrs =
         { key_setups = 0;
           data_forwarded = 0;

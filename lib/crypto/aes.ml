@@ -184,15 +184,17 @@ let encrypt_block_reference { rk; _ } block =
   add_round_key st rk.(10);
   string_of_state st
 
-let encrypt_block { rkw; _ } block =
-  if String.length block <> block_size then
-    invalid_arg "Aes.encrypt_block: need 16 bytes";
+let encrypt_bytes { rkw; _ } ~src ~dst =
+  if Bytes.length src <> block_size then
+    invalid_arg "Aes.encrypt_bytes: src needs 16 bytes";
+  if Bytes.length dst <> block_size then
+    invalid_arg "Aes.encrypt_bytes: dst needs 16 bytes";
   Obs.Counter.inc c_enc_blocks;
   let word off =
-    (Char.code block.[off] lsl 24)
-    lor (Char.code block.[off + 1] lsl 16)
-    lor (Char.code block.[off + 2] lsl 8)
-    lor Char.code block.[off + 3]
+    (Char.code (Bytes.unsafe_get src off) lsl 24)
+    lor (Char.code (Bytes.unsafe_get src (off + 1)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get src (off + 2)) lsl 8)
+    lor Char.code (Bytes.unsafe_get src (off + 3))
   in
   let c0 = ref (word 0 lxor rkw.(0))
   and c1 = ref (word 4 lxor rkw.(1))
@@ -241,18 +243,24 @@ let encrypt_block { rkw; _ } block =
   and o1 = final !c1 !c2 !c3 !c0 rkw.(41)
   and o2 = final !c2 !c3 !c0 !c1 rkw.(42)
   and o3 = final !c3 !c0 !c1 !c2 rkw.(43) in
-  let out = Bytes.create 16 in
+  (* [src] may alias [dst]: all reads happened above. *)
   let put off v =
-    Bytes.set out off (Char.chr ((v lsr 24) land 0xff));
-    Bytes.set out (off + 1) (Char.chr ((v lsr 16) land 0xff));
-    Bytes.set out (off + 2) (Char.chr ((v lsr 8) land 0xff));
-    Bytes.set out (off + 3) (Char.chr (v land 0xff))
+    Bytes.unsafe_set dst off (Char.unsafe_chr ((v lsr 24) land 0xff));
+    Bytes.unsafe_set dst (off + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set dst (off + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set dst (off + 3) (Char.unsafe_chr (v land 0xff))
   in
   put 0 o0;
   put 4 o1;
   put 8 o2;
-  put 12 o3;
-  Bytes.to_string out
+  put 12 o3
+
+let encrypt_block key block =
+  if String.length block <> block_size then
+    invalid_arg "Aes.encrypt_block: need 16 bytes";
+  let dst = Bytes.create block_size in
+  encrypt_bytes key ~src:(Bytes.unsafe_of_string block) ~dst;
+  Bytes.unsafe_to_string dst
 
 let decrypt_block { rk; _ } block =
   let rk = Lazy.force rk in

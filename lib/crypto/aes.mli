@@ -18,6 +18,12 @@ val encrypt_block : key -> string -> string
 
 val decrypt_block : key -> string -> string
 
+(** [encrypt_bytes key ~src ~dst] is the allocation-free form of
+    {!encrypt_block}: both buffers must be exactly 16 bytes, and [src] may
+    alias [dst]. This is the datapath hot-path entry point — the string
+    variant is a thin wrapper around it. *)
+val encrypt_bytes : key -> src:Bytes.t -> dst:Bytes.t -> unit
+
 (** Byte-wise reference implementation of encryption, kept for
     cross-checking the T-table fast path in property tests. *)
 val encrypt_block_reference : key -> string -> string

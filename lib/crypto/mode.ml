@@ -1,6 +1,6 @@
-let incr_counter block =
-  (* Increment the low 32 bits (big-endian) of a 16-byte counter block. *)
-  let b = Bytes.of_string block in
+let incr_counter b =
+  (* Increment the low 32 bits (big-endian) of a 16-byte counter block,
+     in place. *)
   let rec bump i =
     if i >= 12 then begin
       let v = (Char.code (Bytes.get b i) + 1) land 0xff in
@@ -8,27 +8,31 @@ let incr_counter block =
       if v = 0 then bump (i - 1)
     end
   in
-  bump 15;
-  Bytes.to_string b
+  bump 15
 
 let ctr ~key ~nonce s =
   if String.length nonce <> Aes.block_size then
     invalid_arg "Mode.ctr: nonce must be 16 bytes";
   let len = String.length s in
   let out = Bytes.create len in
-  let counter = ref nonce in
+  (* Two scratch blocks for the whole message: the running counter and the
+     keystream block it encrypts to. No per-block allocation. *)
+  let counter = Bytes.of_string nonce in
+  let ks = Bytes.create Aes.block_size in
   let off = ref 0 in
   while !off < len do
-    let ks = Aes.encrypt_block key !counter in
+    Aes.encrypt_bytes key ~src:counter ~dst:ks;
     let n = min Aes.block_size (len - !off) in
     for i = 0 to n - 1 do
-      Bytes.set out (!off + i)
-        (Char.chr (Char.code s.[!off + i] lxor Char.code ks.[i]))
+      Bytes.unsafe_set out (!off + i)
+        (Char.unsafe_chr
+           (Char.code (String.unsafe_get s (!off + i))
+           lxor Char.code (Bytes.unsafe_get ks i)))
     done;
-    counter := incr_counter !counter;
+    incr_counter counter;
     off := !off + n
   done;
-  Bytes.to_string out
+  Bytes.unsafe_to_string out
 
 let ecb_encrypt ~key s =
   if String.length s mod Aes.block_size <> 0 then
@@ -57,15 +61,21 @@ let cbc_encrypt ~key ~iv s =
     invalid_arg "Mode.cbc_encrypt: iv must be 16 bytes";
   let s = Bytes_util.pad_block s in
   let blocks = String.length s / Aes.block_size in
-  let buf = Buffer.create (String.length s) in
-  let prev = ref iv in
+  let out = Bytes.create (String.length s) in
+  (* [x] holds plaintext-xor-chain for the current block; the cipher block
+     is written straight into [out] and chained from there. *)
+  let x = Bytes.of_string iv in
   for i = 0 to blocks - 1 do
-    let x = Bytes_util.xor (String.sub s (16 * i) 16) !prev in
-    let c = Aes.encrypt_block key x in
-    Buffer.add_string buf c;
-    prev := c
+    for j = 0 to 15 do
+      Bytes.unsafe_set x j
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get x j)
+           lxor Char.code (String.unsafe_get s ((16 * i) + j))))
+    done;
+    Aes.encrypt_bytes key ~src:x ~dst:x;
+    Bytes.blit x 0 out (16 * i) 16
   done;
-  Buffer.contents buf
+  Bytes.unsafe_to_string out
 
 let cbc_decrypt ~key ~iv s =
   if String.length iv <> Aes.block_size then

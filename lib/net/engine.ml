@@ -17,9 +17,9 @@ type t = {
 
 type handle = event
 
-let create ?(obs = Obs.Registry.default) () =
+let create ?(obs = Obs.Registry.default) ?(capacity = 0) () =
   let t =
-    { q = Pqueue.create ();
+    { q = Pqueue.create ~capacity ();
       clock = 0L;
       seq = 0;
       processed = 0;

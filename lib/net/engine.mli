@@ -16,9 +16,11 @@
 
 type t
 
-val create : ?obs:Obs.Registry.t -> unit -> t
+val create : ?obs:Obs.Registry.t -> ?capacity:int -> unit -> t
 (** [obs] defaults to {!Obs.Registry.default}; the registry's clock is
-    pointed at this engine's simulated time. *)
+    pointed at this engine's simulated time. [capacity] (default 0)
+    pre-sizes the event heap so a run with a known event population
+    never pays a heap resize. *)
 
 val obs : t -> Obs.Registry.t
 (** The registry this engine (and the network built on it) records

@@ -1,39 +1,88 @@
-type 'a entry = { time : int64; seq : int; value : 'a }
+(* The heap is three parallel arrays instead of an array of records:
+   priorities live in unboxed [int] arrays (no per-event record or boxed
+   int64 retained per entry), values in a plain ['a array]. Timestamps are
+   stored as native 63-bit ints — simulated nanoseconds up to ~146 years,
+   range-checked on push. *)
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+      (* [[||]] until the first push provides a fill value; afterwards
+         always the same length as [times] *)
+  mutable len : int;
+}
 
-let create () = { arr = [||]; len = 0 }
+let create ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Pqueue.create: negative capacity";
+  { times = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    vals = [||];
+    len = 0
+  }
+
 let is_empty q = q.len = 0
 let length q = q.len
 
-let less a b =
-  match Int64.compare a.time b.time with
-  | 0 -> a.seq < b.seq
-  | c -> c < 0
+let clear q =
+  (* Keep the arrays (capacity is the point of reuse) but drop value
+     references so cleared events can be collected; an empty [vals] is
+     re-made by the next push. *)
+  q.vals <- [||];
+  q.len <- 0
 
-let grow q entry =
-  let cap = Array.length q.arr in
+(* Ensure room for one more entry, using [value] to fill fresh value
+   slots. *)
+let ensure q value =
+  let cap = Array.length q.times in
   if q.len = cap then begin
     let ncap = max 16 (2 * cap) in
-    let narr = Array.make ncap entry in
-    Array.blit q.arr 0 narr 0 q.len;
-    q.arr <- narr
+    let nt = Array.make ncap 0 and ns = Array.make ncap 0 in
+    Array.blit q.times 0 nt 0 q.len;
+    Array.blit q.seqs 0 ns 0 q.len;
+    q.times <- nt;
+    q.seqs <- ns;
+    let nv = Array.make ncap value in
+    Array.blit q.vals 0 nv 0 q.len;
+    q.vals <- nv
+  end
+  else if Array.length q.vals < cap then begin
+    (* First push after [create ~capacity] or [clear]. *)
+    let nv = Array.make cap value in
+    Array.blit q.vals 0 nv 0 q.len;
+    q.vals <- nv
   end
 
+let less q i j =
+  let ti = q.times.(i) and tj = q.times.(j) in
+  ti < tj || (ti = tj && q.seqs.(i) < q.seqs.(j))
+
+let swap q i j =
+  let t = q.times.(i) in
+  q.times.(i) <- q.times.(j);
+  q.times.(j) <- t;
+  let s = q.seqs.(i) in
+  q.seqs.(i) <- q.seqs.(j);
+  q.seqs.(j) <- s;
+  let v = q.vals.(i) in
+  q.vals.(i) <- q.vals.(j);
+  q.vals.(j) <- v
+
 let push q time seq value =
-  let entry = { time; seq; value } in
-  grow q entry;
-  q.arr.(q.len) <- entry;
+  let ti = Int64.to_int time in
+  if Int64.of_int ti <> time then invalid_arg "Pqueue.push: time out of range";
+  ensure q value;
+  q.times.(q.len) <- ti;
+  q.seqs.(q.len) <- seq;
+  q.vals.(q.len) <- value;
   q.len <- q.len + 1;
   (* Sift up. *)
   let i = ref (q.len - 1) in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less q.arr.(!i) q.arr.(parent) then begin
-      let tmp = q.arr.(!i) in
-      q.arr.(!i) <- q.arr.(parent);
-      q.arr.(parent) <- tmp;
+    if less q !i parent then begin
+      swap q !i parent;
       i := parent
     end
     else continue := false
@@ -41,34 +90,34 @@ let push q time seq value =
 
 let peek_min q =
   if q.len = 0 then None
-  else begin
-    let e = q.arr.(0) in
-    Some (e.time, e.seq, e.value)
-  end
+  else Some (Int64.of_int q.times.(0), q.seqs.(0), q.vals.(0))
 
 let pop_min q =
   if q.len = 0 then None
   else begin
-    let top = q.arr.(0) in
+    let time = q.times.(0) and seq = q.seqs.(0) and value = q.vals.(0) in
     q.len <- q.len - 1;
     if q.len > 0 then begin
-      q.arr.(0) <- q.arr.(q.len);
+      q.times.(0) <- q.times.(q.len);
+      q.seqs.(0) <- q.seqs.(q.len);
+      q.vals.(0) <- q.vals.(q.len);
+      (* The freed tail slot keeps a duplicate of the root reference, so
+         the array never pins a value that already left the heap. *)
+      q.vals.(q.len) <- q.vals.(0);
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < q.len && less q.arr.(l) q.arr.(!smallest) then smallest := l;
-        if r < q.len && less q.arr.(r) q.arr.(!smallest) then smallest := r;
+        if l < q.len && less q l !smallest then smallest := l;
+        if r < q.len && less q r !smallest then smallest := r;
         if !smallest <> !i then begin
-          let tmp = q.arr.(!i) in
-          q.arr.(!i) <- q.arr.(!smallest);
-          q.arr.(!smallest) <- tmp;
+          swap q !i !smallest;
           i := !smallest
         end
         else continue := false
       done
     end;
-    Some (top.time, top.seq, top.value)
+    Some (Int64.of_int time, seq, value)
   end

@@ -2,11 +2,21 @@
 
     Priorities are [(int64 * int)] pairs compared lexicographically: the
     event timestamp plus an insertion sequence number, which makes the pop
-    order of simultaneous events deterministic (FIFO). *)
+    order of simultaneous events deterministic (FIFO).
+
+    Internally the heap is three parallel arrays ([int] times, [int]
+    seqs, values), so pushing an event allocates nothing once capacity is
+    reached — no per-entry record, no boxed timestamp retained per
+    entry. Timestamps must fit a native 63-bit int (about 146 simulated
+    years in nanoseconds); {!push} raises [Invalid_argument] beyond
+    that. *)
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?capacity ()] with [capacity] (default 0) a pre-sizing hint:
+    pushes up to it never resize. *)
+val create : ?capacity:int -> unit -> 'a t
+
 val is_empty : 'a t -> bool
 val length : 'a t -> int
 val push : 'a t -> int64 -> int -> 'a -> unit
@@ -17,3 +27,7 @@ val pop_min : 'a t -> (int64 * int * 'a) option
 
 (** [peek_min q] like {!pop_min} without removing. *)
 val peek_min : 'a t -> (int64 * int * 'a) option
+
+(** [clear q] empties the heap, keeping its priority-array capacity for
+    reuse across runs; value references are dropped. *)
+val clear : 'a t -> unit

@@ -285,8 +285,48 @@ let montgomery_props =
           N.equal (N.Montgomery.mul_mod ctx a b) (N.rem (N.mul a b) m));
     prop "montgomery rejects even moduli" gen_nat N.to_string (fun m ->
         let even = N.mul m N.two in
-        N.Montgomery.create even = None)
+        N.Montgomery.create even = None);
+    prop "windowed pow_mod = binary ladder"
+      QCheck2.Gen.(tup3 gen_nat gen_nat gen_odd_modulus)
+      print_triple
+      (fun (b, e, m) ->
+        match N.Montgomery.create m with
+        | None -> QCheck2.assume_fail ()
+        | Some ctx ->
+          N.equal (N.Montgomery.pow_mod ctx b e)
+            (N.Montgomery.pow_mod_binary ctx b e));
+    prop "sqr_mod = mul_mod with itself"
+      QCheck2.Gen.(tup2 gen_nat gen_odd_modulus)
+      (fun (a, m) -> Printf.sprintf "%s^2 mod %s" (N.to_string a) (N.to_string m))
+      (fun (a, m) ->
+        match N.Montgomery.create m with
+        | None -> QCheck2.assume_fail ()
+        | Some ctx ->
+          N.equal (N.Montgomery.sqr_mod ctx a) (N.rem (N.mul a a) m))
   ]
+
+(* The fixed-window path at the width RSA-512 actually exercises: both
+   Montgomery ladders and the generic fallback must agree bit for bit. *)
+let test_windowed_512 () =
+  let st = Random.State.make [| 0x512; 99 |] in
+  for i = 1 to 3 do
+    let m =
+      let c = N.add (N.random ~bits:511 st) (N.shift_left N.one 511) in
+      if N.is_even c then N.succ c else c
+    in
+    let ctx = Option.get (N.Montgomery.create m) in
+    let b = N.random ~bits:512 st in
+    let e = N.random ~bits:512 st in
+    let windowed = N.Montgomery.pow_mod ctx b e in
+    check_nat
+      (Printf.sprintf "windowed = binary (%d)" i)
+      (N.Montgomery.pow_mod_binary ctx b e)
+      windowed;
+    check_nat
+      (Printf.sprintf "windowed = generic (%d)" i)
+      (M.pow_mod_generic b e m)
+      windowed
+  done
 
 let test_montgomery_rsa_sized () =
   (* a full-width exchange at each RSA size in use *)
@@ -385,6 +425,8 @@ let () =
         @ modular_props );
       ( "montgomery",
         Alcotest.test_case "rsa-sized agreement" `Slow test_montgomery_rsa_sized
+        :: Alcotest.test_case "512-bit windowed agreement" `Slow
+             test_windowed_512
         :: montgomery_props );
       ( "prime",
         [ Alcotest.test_case "small primes" `Quick test_small_primes;

@@ -206,7 +206,36 @@ let datapath_props =
         let ks = key16 'p' in
         let enc, tag = Core.Datapath.blind ~ks ~epoch:7 ~nonce:n target in
         Core.Datapath.unblind ~ks ~epoch:7 ~nonce:n ~enc_addr:enc ~tag
-        = Some target)
+        = Some target);
+    prop "session transforms byte-identical to stateless"
+      QCheck2.Gen.(tup3 nat (int_bound 255) (gen_bytes Core.Protocol.nonce_len))
+      (fun (i, e, n) -> Printf.sprintf "%d %d %S" i e n)
+      (fun (i, epoch, n) ->
+        let target = Net.Ipaddr.of_int (i land 0xffffffff) in
+        let ks = key16 's' in
+        let s = Core.Datapath.make_session ~ks ~epoch ~nonce:n in
+        let enc, tag = Core.Datapath.blind ~ks ~epoch ~nonce:n target in
+        let enc', tag' = Core.Datapath.blind_session s target in
+        enc = enc' && tag = tag'
+        (* ...and the two unblind paths accept each other's output. *)
+        && Core.Datapath.unblind_session s ~enc_addr:enc ~tag = Some target
+        && Core.Datapath.unblind ~ks ~epoch ~nonce:n ~enc_addr:enc' ~tag:tag'
+           = Some target);
+    prop "session unblind rejects tampered bytes"
+      QCheck2.Gen.(tup2 nat (gen_bytes Core.Protocol.nonce_len))
+      (fun (i, n) -> Printf.sprintf "%d %S" i n)
+      (fun (i, n) ->
+        let target = Net.Ipaddr.of_int (i land 0xffffffff) in
+        let s = Core.Datapath.make_session ~ks:(key16 's') ~epoch:7 ~nonce:n in
+        let enc, tag = Core.Datapath.blind_session s target in
+        let flip str pos =
+          String.mapi
+            (fun j c -> if j = pos then Char.chr (Char.code c lxor 1) else c)
+            str
+        in
+        Core.Datapath.unblind_session s ~enc_addr:(flip enc 0) ~tag = None
+        && Core.Datapath.unblind_session s ~enc_addr:enc ~tag:(flip tag 0)
+           = None)
   ]
 
 let test_key_setup_roundtrip () =
@@ -370,6 +399,90 @@ let test_keytab () =
     (Keytab.find_nonce t ~neutralizer:n1 ~nonce:(nonce_of_seed "c") <> None);
   Keytab.drop_older_than t ~now:10_000L ~max_age:100L;
   Alcotest.(check bool) "expired all" true (Keytab.grants t = [])
+
+let test_keytab_session_cache () =
+  let open Core in
+  let t = Keytab.create () in
+  let n1 = addr "10.2.255.1" in
+  let g = grant 3 "a" 100L in
+  Keytab.put t ~neutralizer:n1 g;
+  let s1 = Keytab.session t g in
+  (* Same grant -> the same precomputed session, not an equal copy. *)
+  Alcotest.(check bool) "memoized" true (s1 == Keytab.session t g);
+  let dest = addr "10.2.0.55" in
+  let enc, tag = Datapath.blind_session s1 dest in
+  let enc', tag' =
+    Datapath.blind ~ks:g.Keytab.key ~epoch:g.Keytab.epoch
+      ~nonce:g.Keytab.nonce dest
+  in
+  Alcotest.(check string) "enc matches stateless" enc' enc;
+  Alcotest.(check string) "tag matches stateless" tag' tag;
+  (* Expiring the grant evicts its cached session; a fresh grant builds
+     a fresh one. *)
+  Keytab.drop_older_than t ~now:10_000L ~max_age:100L;
+  Keytab.put t ~neutralizer:n1 g;
+  Alcotest.(check bool) "evicted with grant" true
+    (s1 != Keytab.session t g)
+
+(* ---- keypool ---- *)
+
+(* A deterministic generate thunk: key [i] on the [i]-th call, so two
+   pools with the same thunk must yield the same FIFO key sequence. *)
+let keyring_gen () =
+  let i = ref (-1) in
+  fun () ->
+    incr i;
+    Scenario.Keyring.onetime !i
+
+let pub k = Crypto.Rsa.public_to_string k.Crypto.Rsa.public
+
+let test_keypool_hit_miss () =
+  let reg = Obs.Registry.create () in
+  let p = Core.Keypool.create ~obs:reg ~target:2 ~generate:(keyring_gen ()) () in
+  Alcotest.(check int) "starts empty" 0 (Core.Keypool.depth p);
+  let k0 = Core.Keypool.take p in
+  Alcotest.(check int) "dry take is a miss" 1 (Core.Keypool.misses p);
+  Alcotest.(check string) "miss generates inline" (pub (Scenario.Keyring.onetime 0)) (pub k0);
+  Core.Keypool.fill p;
+  Alcotest.(check int) "filled to target" 2 (Core.Keypool.depth p);
+  let k1 = Core.Keypool.take p in
+  Alcotest.(check int) "pooled take is a hit" 1 (Core.Keypool.hits p);
+  Alcotest.(check string) "FIFO order" (pub (Scenario.Keyring.onetime 1)) (pub k1);
+  Core.Keypool.put p k1;
+  Alcotest.(check int) "put restores depth" 2 (Core.Keypool.depth p);
+  Alcotest.(check bool) "full pool refuses refill" false
+    (Core.Keypool.refill_one p)
+
+let test_keypool_determinism () =
+  (* Same generator, different interleavings of miss/refill/take: the
+     key sequence handed out must be identical. *)
+  let a = Core.Keypool.create ~obs:(Obs.Registry.create ()) ~target:3 ~generate:(keyring_gen ()) () in
+  let b = Core.Keypool.create ~obs:(Obs.Registry.create ()) ~target:3 ~generate:(keyring_gen ()) () in
+  Core.Keypool.fill a;
+  let from_a = List.init 3 (fun _ -> pub (Core.Keypool.take a)) in
+  let b0 = pub (Core.Keypool.take b) in
+  ignore (Core.Keypool.refill_one b);
+  ignore (Core.Keypool.refill_one b);
+  let from_b = b0 :: List.init 2 (fun _ -> pub (Core.Keypool.take b)) in
+  Alcotest.(check (list string)) "same sequence" from_a from_b
+
+let test_keypool_attach () =
+  let engine = Net.Engine.create ~obs:(Obs.Registry.create ()) () in
+  let p =
+    Core.Keypool.create ~obs:(Net.Engine.obs engine) ~target:4
+      ~generate:(keyring_gen ()) ()
+  in
+  Core.Keypool.attach p engine ~period:1_000L;
+  Net.Engine.run ~until:2_500L engine;
+  Alcotest.(check int) "partial refill during idle" 2 (Core.Keypool.depth p);
+  Net.Engine.run ~until:10_000L engine;
+  Alcotest.(check int) "refilled to target, no overshoot" 4
+    (Core.Keypool.depth p);
+  Core.Keypool.detach p;
+  (* With the refill loop stopped the engine drains completely. *)
+  Net.Engine.run engine;
+  Alcotest.(check int) "still at target" 4 (Core.Keypool.depth p);
+  Alcotest.(check int) "queue drained" 0 (Net.Engine.pending engine)
 
 (* ---- session ---- *)
 
@@ -637,7 +750,16 @@ let () =
           Alcotest.test_case "return path" `Quick test_return_path
         ]
         @ datapath_props );
-      ("keytab", [ Alcotest.test_case "lifecycle" `Quick test_keytab ]);
+      ( "keytab",
+        [ Alcotest.test_case "lifecycle" `Quick test_keytab;
+          Alcotest.test_case "session cache" `Quick test_keytab_session_cache
+        ] );
+      ( "keypool",
+        [ Alcotest.test_case "hit/miss accounting" `Quick test_keypool_hit_miss;
+          Alcotest.test_case "deterministic sequence" `Quick
+            test_keypool_determinism;
+          Alcotest.test_case "background refill" `Quick test_keypool_attach
+        ] );
       ( "session",
         [ Alcotest.test_case "inner codec" `Quick test_inner_codec;
           Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;

@@ -26,7 +26,15 @@ let test_xor () =
   Alcotest.(check string) "xor" "\x03\x00" (B.xor "\x01\x02" "\x02\x02");
   Alcotest.check_raises "mismatch"
     (Invalid_argument "Bytes_util.xor: length mismatch") (fun () ->
-      ignore (B.xor "a" "ab"))
+      ignore (B.xor "a" "ab"));
+  Alcotest.(check string) "xor_prefix" "\x03\x00"
+    (B.xor_prefix "\x01\x02" "\x02\x02\xff\xff");
+  Alcotest.(check string) "xor_prefix = xor on equal lengths"
+    (B.xor "\x01\x02" "\x02\x02")
+    (B.xor_prefix "\x01\x02" "\x02\x02");
+  Alcotest.check_raises "prefix too short"
+    (Invalid_argument "Bytes_util.xor_prefix: second operand too short")
+    (fun () -> ignore (B.xor_prefix "abc" "ab"))
 
 let test_equal_ct () =
   Alcotest.(check bool) "equal" true (B.equal_ct "abc" "abc");
@@ -73,8 +81,27 @@ let aes_props =
         = Crypto.Aes.encrypt_block_reference k block);
     prop "decrypt inverts encrypt" gen print (fun (key, block) ->
         let k = Crypto.Aes.expand_key key in
-        Crypto.Aes.decrypt_block k (Crypto.Aes.encrypt_block k block) = block)
+        Crypto.Aes.decrypt_block k (Crypto.Aes.encrypt_block k block) = block);
+    prop "encrypt_bytes = encrypt_block, aliased included" gen print
+      (fun (key, block) ->
+        let k = Crypto.Aes.expand_key key in
+        let expected = Crypto.Aes.encrypt_block k block in
+        let dst = Bytes.create 16 in
+        Crypto.Aes.encrypt_bytes k ~src:(Bytes.of_string block) ~dst;
+        (* In-place: src and dst are the same buffer. *)
+        let buf = Bytes.of_string block in
+        Crypto.Aes.encrypt_bytes k ~src:buf ~dst:buf;
+        Bytes.to_string dst = expected && Bytes.to_string buf = expected)
   ]
+
+let test_encrypt_bytes_sizes () =
+  let k = Crypto.Aes.expand_key (String.make 16 'k') in
+  Alcotest.check_raises "short src"
+    (Invalid_argument "Aes.encrypt_bytes: src needs 16 bytes") (fun () ->
+      Crypto.Aes.encrypt_bytes k ~src:(Bytes.create 8) ~dst:(Bytes.create 16));
+  Alcotest.check_raises "short dst"
+    (Invalid_argument "Aes.encrypt_bytes: dst needs 16 bytes") (fun () ->
+      Crypto.Aes.encrypt_bytes k ~src:(Bytes.create 16) ~dst:(Bytes.create 8))
 
 (* ---- modes ---- *)
 
@@ -338,7 +365,9 @@ let () =
       ( "aes",
         [ Alcotest.test_case "FIPS-197 C.1" `Quick test_aes_fips_c1;
           Alcotest.test_case "FIPS-197 appendix B" `Quick test_aes_fips_b;
-          Alcotest.test_case "bad sizes" `Quick test_aes_bad_sizes
+          Alcotest.test_case "bad sizes" `Quick test_aes_bad_sizes;
+          Alcotest.test_case "encrypt_bytes sizes" `Quick
+            test_encrypt_bytes_sizes
         ]
         @ aes_props );
       ( "modes",

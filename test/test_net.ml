@@ -66,6 +66,35 @@ let test_pqueue_fifo_ties () =
   Alcotest.(check (list string)) "fifo" [ "first"; "second"; "third" ]
     [ a; b; c ]
 
+let test_pqueue_clear_reuse () =
+  let q = Pqueue.create ~capacity:8 () in
+  for round = 1 to 3 do
+    for i = 1 to 8 do
+      Pqueue.push q (Int64.of_int ((9 - i) * round)) i (i * round)
+    done;
+    Alcotest.(check int) "filled" 8 (Pqueue.length q);
+    (match Pqueue.pop_min q with
+     | Some (t, _, _) ->
+       Alcotest.(check int64) "min after refill" (Int64.of_int round) t
+     | None -> Alcotest.fail "empty after refill");
+    Pqueue.clear q;
+    Alcotest.(check int) "cleared" 0 (Pqueue.length q);
+    Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+    Alcotest.(check bool) "pop empty" true (Pqueue.pop_min q = None)
+  done
+
+let test_pqueue_time_range () =
+  let q = Pqueue.create () in
+  Pqueue.push q (Int64.of_int max_int) 0 "edge";
+  Alcotest.check_raises "beyond 63-bit"
+    (Invalid_argument "Pqueue.push: time out of range")
+    (fun () -> Pqueue.push q Int64.max_int 1 "too-far");
+  match Pqueue.pop_min q with
+  | Some (t, _, v) ->
+    Alcotest.(check int64) "roundtrip" (Int64.of_int max_int) t;
+    Alcotest.(check string) "value" "edge" v
+  | None -> Alcotest.fail "lost the edge entry"
+
 let pqueue_props =
   [ prop "drains sorted"
       QCheck2.Gen.(list_size (int_bound 100) (int_bound 1000))
@@ -78,7 +107,53 @@ let pqueue_props =
           | None -> List.rev acc
           | Some (_, _, v) -> drain (v :: acc)
         in
-        drain [] = List.sort compare times)
+        drain [] = List.sort compare times);
+    prop "drains in (time, seq) order with ties"
+      (* Timestamps drawn from a tiny range force plenty of collisions,
+         so the FIFO tie-break carries the ordering. *)
+      QCheck2.Gen.(list_size (int_bound 100) (int_bound 5))
+      (fun l -> String.concat "," (List.map string_of_int l))
+      (fun times ->
+        let q = Pqueue.create () in
+        List.iteri (fun i t -> Pqueue.push q (Int64.of_int t) i (t, i)) times;
+        let rec drain acc =
+          match Pqueue.pop_min q with
+          | None -> List.rev acc
+          | Some (t, s, v) ->
+            if v <> (Int64.to_int t, s) then Alcotest.fail "value mismatch";
+            drain ((Int64.to_int t, s) :: acc)
+        in
+        let got = drain [] in
+        got = List.sort compare got && List.length got = List.length times);
+    prop "interleaved push/pop matches a reference model"
+      QCheck2.Gen.(list_size (int_bound 60) (int_bound 100))
+      (fun l -> String.concat "," (List.map string_of_int l))
+      (fun times ->
+        (* Every pop must return the (time, seq) minimum of the current
+           contents, tracked in a sorted reference list. *)
+        let q = Pqueue.create ~capacity:4 () in
+        let model = ref [] in
+        let seq = ref 0 in
+        let ok = ref true in
+        let pop_and_check () =
+          match Pqueue.pop_min q, !model with
+          | None, [] -> ()
+          | Some (t, s, v), (mt, ms) :: rest ->
+            if (Int64.to_int t, s) <> (mt, ms) || v <> mt then ok := false;
+            model := rest
+          | _ -> ok := false
+        in
+        List.iter
+          (fun t ->
+            Pqueue.push q (Int64.of_int t) !seq t;
+            model := List.sort compare ((t, !seq) :: !model);
+            incr seq;
+            if t mod 3 = 0 then pop_and_check ())
+          times;
+        while not (Pqueue.is_empty q) do
+          pop_and_check ()
+        done;
+        !ok && !model = [])
   ]
 
 (* ---- Engine ---- *)
@@ -767,7 +842,9 @@ let () =
         ] );
       ( "pqueue",
         [ Alcotest.test_case "order" `Quick test_pqueue_order;
-          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "clear/reuse" `Quick test_pqueue_clear_reuse;
+          Alcotest.test_case "time range" `Quick test_pqueue_time_range
         ]
         @ pqueue_props );
       ( "engine",

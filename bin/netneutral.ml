@@ -414,6 +414,31 @@ let run_bench quick out =
     close_out oc;
     Printf.printf "bench results written to %s\n" out
 
+(* `netneutral par`: the domain-pool scaling sweep — E1/E2 throughput
+   and sequential-equivalence digests at every pool size, written as
+   BENCH_par.json. *)
+let run_par quick out =
+  Printf.printf
+    "par: recommended domains %d, PAR_POOL default %d, PAR_SEED %d\n"
+    (Par.recommended ()) (Par.default_size ()) (Par.seed ());
+  let r = Experiments.Par_scaling.run ~min_time:(if quick then 0.05 else 0.4) () in
+  Experiments.Par_scaling.print r;
+  if not (r.Experiments.Par_scaling.e1_equivalent
+          && r.Experiments.Par_scaling.e2_equivalent)
+  then begin
+    Printf.eprintf "netneutral: parallel output diverged from sequential\n";
+    exit 1
+  end;
+  match open_out out with
+  | exception Sys_error msg ->
+    Printf.eprintf "netneutral: cannot write par results: %s\n" msg;
+    exit 1
+  | oc ->
+    output_string oc (Experiments.Par_scaling.to_json r);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "par results written to %s\n" out
+
 let experiments =
   [ ("e1", "key-setup throughput (paper section 4)", run_e1);
     ("e2", "data-path vs vanilla forwarding throughput", run_e2);
@@ -516,6 +541,21 @@ let () =
             events/s, and obs counter overhead")
       Term.(const run_bench $ quick_flag $ out_opt)
   in
+  let par_cmd =
+    let out_opt =
+      let doc = "Write the JSON results to $(docv)." in
+      Arg.(
+        value & opt string "BENCH_par.json" & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "par"
+         ~doc:
+           "Domain-pool scaling sweep: batched key-setup and datapath \
+            blind/unblind throughput at pool sizes 1..recommended, with \
+            sequential-equivalence digests (parallel output must be \
+            bit-identical to pool=1)")
+      Term.(const run_par $ quick_flag $ out_opt)
+  in
   let overload_cmd =
     let seed_opt =
       let doc =
@@ -561,4 +601,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: stats_cmd
-           :: chaos_cmd :: overload_cmd :: bench_cmd :: exp_cmds)))
+           :: chaos_cmd :: overload_cmd :: bench_cmd :: par_cmd :: exp_cmds)))

@@ -8,7 +8,13 @@
     This module exists because the sealed build environment provides no
     [zarith]; it implements exactly what the RSA substrate needs: ring
     operations, Euclidean division (Knuth's Algorithm D), shifts, and
-    conversions to and from big-endian octet strings. *)
+    conversions to and from big-endian octet strings.
+
+    Everything here is pure over immutable values (scratch, where used,
+    is per-call), so all operations — including a shared
+    {!Montgomery.ctx}, which is immutable after [create] — are safe to
+    call concurrently from several domains; the parallel key-setup plane
+    relies on this. *)
 
 type t
 

@@ -65,17 +65,19 @@ let unblind ~ks ~epoch ~nonce ~enc_addr ~tag =
 
    Everything in {!blind}/{!unblind} that depends only on the grant —
    AES key schedule, the 4-byte mask slice, the fixed 12 trailing bytes
-   of the tag block — is computed once here, leaving two scratch blocks
-   and one AES call per packet. Not thread-safe: the scratch buffers are
-   reused across calls (the simulator is single-threaded). *)
+   of the tag block — is computed once here, leaving one scratch block
+   and one AES call per packet. A session is immutable after
+   [make_session] (no per-call scratch is stored in it), so one session
+   may be used from several domains concurrently; the parallel datapath
+   plane shares sessions across a pool. *)
 
 type session = {
   s_aes : Crypto.Aes.key;
   s_mask4 : string;  (* first [tag_len] bytes of the session mask block *)
-  s_tag_block : Bytes.t;
-      (* addr(4) | nonce(8) | "tag\x00": the address prefix is rewritten
-         per packet, the trailing 12 bytes never change *)
-  s_tag_out : Bytes.t;
+  s_tag_tail : string;
+      (* nonce(8) | "tag\x00": the fixed trailing 12 bytes of the tag
+         block; the 4-byte address prefix is written per packet into a
+         per-call scratch block *)
 }
 
 let make_session ~ks ~epoch ~nonce =
@@ -85,19 +87,17 @@ let make_session ~ks ~epoch ~nonce =
     invalid_arg "Datapath.make_session: bad nonce";
   let aes = Crypto.Aes.expand_key ks in
   let mask = mask_block ~aes ~epoch ~nonce in
-  let tag_block = Bytes.create Crypto.Aes.block_size in
-  Bytes.blit_string nonce 0 tag_block 4 nonce_len;
-  Bytes.blit_string "tag\x00" 0 tag_block (4 + nonce_len) 4;
   { s_aes = aes;
     s_mask4 = String.sub mask 0 4;
-    s_tag_block = tag_block;
-    s_tag_out = Bytes.create Crypto.Aes.block_size
+    s_tag_tail = nonce ^ "tag\x00"
   }
 
 let session_tag s octets =
-  Bytes.blit_string octets 0 s.s_tag_block 0 4;
-  Crypto.Aes.encrypt_bytes s.s_aes ~src:s.s_tag_block ~dst:s.s_tag_out;
-  Bytes.sub_string s.s_tag_out 0 Protocol.tag_len
+  let blk = Bytes.create Crypto.Aes.block_size in
+  Bytes.blit_string octets 0 blk 0 4;
+  Bytes.blit_string s.s_tag_tail 0 blk 4 (nonce_len + 4);
+  Crypto.Aes.encrypt_bytes s.s_aes ~src:blk ~dst:blk;
+  Bytes.sub_string blk 0 Protocol.tag_len
 
 let blind_session s addr =
   let octets = Net.Ipaddr.to_octets addr in

@@ -40,7 +40,9 @@ val unblind_with_schedule :
     constant tail of the tag block) is precomputed once, so the per-packet
     cost drops to one AES block and a 4-byte XOR. Outputs are byte
     identical to the stateless functions — property-tested in the suite.
-    Sessions hold reusable scratch buffers and are not thread-safe. *)
+    Sessions are immutable after creation, so one session may be used
+    concurrently from several domains (the parallel datapath plane
+    shares sessions across a {!Par.pool}). *)
 
 type session
 

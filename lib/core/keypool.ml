@@ -2,12 +2,21 @@ type t = {
   target : int;
   generate : unit -> Crypto.Rsa.private_key;
   q : Crypto.Rsa.private_key Queue.t;
+  mu : Mutex.t;
+      (* guards [q] and — deliberately — every call to [generate]. With
+         generation itself serialized under the one lock, the keys enter
+         the queue in generator-call order no matter how a background
+         refill domain interleaves with inline misses, so a seeded
+         generator yields a deterministic take sequence. *)
+  need : Condition.t; (* signalled when the pool drops below target *)
   g_depth : Obs.Gauge.t;
   g_hit_rate : Obs.Gauge.t;
   c_hits : Obs.Counter.t;
   c_misses : Obs.Counter.t;
   c_generated : Obs.Counter.t;
   mutable stop_refill : (unit -> unit) option;
+  mutable refill_domain : unit Domain.t option;
+  mutable domain_stop : bool;
 }
 
 let create ?(obs = Obs.Registry.default) ~target ~generate () =
@@ -15,19 +24,24 @@ let create ?(obs = Obs.Registry.default) ~target ~generate () =
   { target;
     generate;
     q = Queue.create ();
+    mu = Mutex.create ();
+    need = Condition.create ();
     g_depth = Obs.Registry.gauge obs "core.keypool.depth";
     g_hit_rate = Obs.Registry.gauge obs "core.keypool.hit_rate";
     c_hits = Obs.Registry.counter obs "core.keypool.hits";
     c_misses = Obs.Registry.counter obs "core.keypool.misses";
     c_generated = Obs.Registry.counter obs "core.keypool.keys_generated";
-    stop_refill = None
+    stop_refill = None;
+    refill_domain = None;
+    domain_stop = false
   }
 
-let depth t = Queue.length t.q
+let depth t = Mutex.protect t.mu (fun () -> Queue.length t.q)
 let target t = t.target
 let hits t = Obs.Counter.value t.c_hits
 let misses t = Obs.Counter.value t.c_misses
 
+(* callers hold [t.mu] *)
 let note_depth t = Obs.Gauge.set_int t.g_depth (Queue.length t.q)
 
 let note_hit_rate t =
@@ -35,7 +49,8 @@ let note_hit_rate t =
   if h + m > 0 then
     Obs.Gauge.set t.g_hit_rate (float_of_int h /. float_of_int (h + m))
 
-let refill_one t =
+(* callers hold [t.mu] *)
+let refill_one_locked t =
   if Queue.length t.q < t.target then begin
     Queue.push (t.generate ()) t.q;
     Obs.Counter.inc t.c_generated;
@@ -44,25 +59,32 @@ let refill_one t =
   end
   else false
 
-let fill t = while refill_one t do () done
+let refill_one t = Mutex.protect t.mu (fun () -> refill_one_locked t)
+let fill t = Mutex.protect t.mu (fun () -> while refill_one_locked t do () done)
 
 let take t =
-  match Queue.take_opt t.q with
-  | Some k ->
-    Obs.Counter.inc t.c_hits;
-    note_depth t;
-    note_hit_rate t;
-    k
-  | None ->
-    (* Pool dry: fall back to generating inline — exactly the cold path
-       the pool exists to avoid, so it counts as a miss. *)
-    Obs.Counter.inc t.c_misses;
-    note_hit_rate t;
-    t.generate ()
+  Mutex.protect t.mu (fun () ->
+      match Queue.take_opt t.q with
+      | Some k ->
+        Obs.Counter.inc t.c_hits;
+        note_depth t;
+        note_hit_rate t;
+        Condition.signal t.need;
+        k
+      | None ->
+        (* Pool dry: fall back to generating inline — exactly the cold
+           path the pool exists to avoid, so it counts as a miss. Still
+           under the lock, so the generator call order (and hence the
+           key sequence) stays deterministic. *)
+        Obs.Counter.inc t.c_misses;
+        note_hit_rate t;
+        Condition.signal t.need;
+        t.generate ())
 
 let put t k =
-  Queue.push k t.q;
-  note_depth t
+  Mutex.protect t.mu (fun () ->
+      Queue.push k t.q;
+      note_depth t)
 
 let attach t engine ~period =
   (match t.stop_refill with Some stop -> stop () | None -> ());
@@ -77,3 +99,44 @@ let detach t =
     stop ();
     t.stop_refill <- None
   | None -> ()
+
+(* ---- Wall-clock background refill (real domain) ----
+
+   The engine-tick refill above models idle CPU in simulated time; this
+   one uses an actual spare core. The loop sleeps on [need] while the
+   pool is full and generates while it is below target — holding the
+   lock across the generate call, which is what keeps the take sequence
+   of a seeded generator identical whether the refill domain, an inline
+   miss, or [fill] produced each key. *)
+
+let refill_loop t () =
+  Mutex.lock t.mu;
+  let rec loop () =
+    if t.domain_stop then Mutex.unlock t.mu
+    else if Queue.length t.q >= t.target then begin
+      Condition.wait t.need t.mu;
+      loop ()
+    end
+    else begin
+      ignore (refill_one_locked t);
+      loop ()
+    end
+  in
+  loop ()
+
+let attach_domain t =
+  (match t.refill_domain with
+  | Some _ -> invalid_arg "Keypool.attach_domain: already attached"
+  | None -> ());
+  t.domain_stop <- false;
+  t.refill_domain <- Some (Domain.spawn (refill_loop t))
+
+let detach_domain t =
+  match t.refill_domain with
+  | None -> ()
+  | Some d ->
+    Mutex.protect t.mu (fun () ->
+        t.domain_stop <- true;
+        Condition.broadcast t.need);
+    Domain.join d;
+    t.refill_domain <- None

@@ -4,7 +4,12 @@
     the neutralizer stores nothing (§3.2). A grant is the (epoch, nonce,
     Ks) triple; the current grant per neutralizer is used for sending,
     and past grants stay resolvable by nonce so that in-flight return
-    packets blinded under an older grant still open. *)
+    packets blinded under an older grant still open.
+
+    The table is sharded internally (per-shard mutexes, no lock ever
+    nested inside another), so every operation here is safe to call from
+    worker domains of a parallel batch; with a single domain the locks
+    are uncontended and behaviour matches the old single-table code. *)
 
 type grant = {
   epoch : int;
@@ -40,7 +45,18 @@ val session : t -> grant -> Datapath.session
     with the grant. *)
 
 val drop_older_than : t -> now:int64 -> max_age:int64 -> unit
+(** Evict every grant older than [max_age] along with its memoized
+    session. Idempotent: a second pass with the same arguments evicts
+    nothing further. *)
+
+val evictions : t -> int
+(** Total grants evicted by {!drop_older_than} over the table's
+    lifetime — each stale grant counts exactly once. *)
+
 val grants : t -> (Net.Ipaddr.t * grant) list
+
+val session_count : t -> int
+(** Number of memoized datapath sessions currently held. *)
 
 val clear : t -> unit
 (** Forget everything, nonce index included — crash amnesia. The client

@@ -139,6 +139,61 @@ let handle_key_setup t (p : Net.Packet.t) pubkey ~deadline =
                 ~sent_at:(Net.Engine.now (engine t))
                 ~app:"neutralizer" "")))
 
+(* Batched key setup: the multicore variant of {!handle_key_setup}.
+   The engine thread draws one batch seed from the box's DRBG (so the
+   box's own randomness advances exactly once per batch, independent of
+   pool size), fans the RSA work out over [pool], then emits the
+   responses in arrival order — each still paying its key_setup service
+   cost, which serializes per-node CPU exactly like the one-at-a-time
+   path. Offload and deadline shedding are features of the event-driven
+   path and are not consulted here. *)
+let setup_batch ?pool ?chunk t (ps : Net.Packet.t array) =
+  let seed = Crypto.Bytes_util.to_hex (t.config.rng 16) in
+  let decoded =
+    Array.map
+      (fun (p : Net.Packet.t) ->
+        match Option.map Shim.decode p.shim with
+        | Some (Some (Shim.Key_setup_request { pubkey; _ })) ->
+          Some { Setup_batch.src = p.src; pubkey }
+        | _ -> None)
+      ps
+  in
+  (* Compact the well-formed requests (their position in the compacted
+     array is the index the per-request DRBG is split on — the same
+     whatever the pool size), keeping each one's arrival slot. *)
+  let slots = ref [] and reqs = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some r ->
+        slots := i :: !slots;
+        reqs := r :: !reqs
+      | None -> ())
+    decoded;
+  let slots = Array.of_list (List.rev !slots) in
+  let reqs = Array.of_list (List.rev !reqs) in
+  let answers =
+    Setup_batch.process ?pool ?chunk ~master:t.config.master ~seed reqs
+  in
+  let by_slot = Array.make (Array.length ps) None in
+  Array.iteri (fun j slot -> by_slot.(slot) <- Some answers.(j)) slots;
+  Array.iteri
+    (fun i (p : Net.Packet.t) ->
+      match by_slot.(i) with
+      | None -> reject t "malformed"
+      | Some None -> reject t "bad-pubkey"
+      | Some (Some shim) ->
+        Net.Network.service ~kind:"key_setup" t.net t.node.Net.Topology.nid
+          ~cost:t.config.costs.key_setup (fun () ->
+            t.ctrs.key_setups <- t.ctrs.key_setups + 1;
+            Obs.Counter.inc t.c_key_setups;
+            send t
+              (Net.Packet.make ~protocol:Net.Packet.Shim ~shim
+                 ~src:t.config.anycast ~dst:p.src ~dscp:p.dscp
+                 ~sent_at:(Net.Engine.now (engine t))
+                 ~app:"neutralizer" "")))
+    ps
+
 let handle_outside_data t (p : Net.Packet.t) (d : Shim.data) =
   Net.Network.service ~kind:"data_forward" t.net t.node.Net.Topology.nid
     ~cost:t.config.costs.data_forward (fun () ->

@@ -1,0 +1,22 @@
+type request = { src : Net.Ipaddr.t; pubkey : string }
+
+(* Each request gets its own child DRBG, split from the batch seed by
+   request index *before* fan-out. Padding bytes and grant nonces are
+   then a pure function of (seed, index) — never of which domain ran the
+   request or in what order — which is what makes the parallel batch
+   byte-identical to the sequential one. *)
+let respond ~master ~seed i (r : request) =
+  let drbg = Crypto.Drbg.create ~seed:(Printf.sprintf "%s/req-%d" seed i) in
+  let rng n = Crypto.Drbg.generate drbg n in
+  match
+    Datapath.key_setup_response ~master ~rng ~src:r.src ~pubkey_blob:r.pubkey
+  with
+  | None -> None
+  | Some (shim, _grant) -> Some shim
+
+let process ?pool ?chunk ~master ~seed reqs =
+  let items = Array.mapi (fun i r -> (i, r)) reqs in
+  let f (i, r) = respond ~master ~seed i r in
+  match pool with
+  | Some p when Par.size p > 1 -> Par.map_chunks ?chunk p ~f items
+  | _ -> Array.map f items

@@ -1,0 +1,38 @@
+(** Deterministic parallel key-setup batching.
+
+    The key-setup plane is embarrassingly parallel: each request is
+    parsed, CMAC-derived, PKCS-padded and RSA-encrypted independently of
+    every other (§3.2 — the neutralizer keeps no per-source state). This
+    module fans a batch of requests out over a {!Par.pool} and returns
+    the responses in arrival order.
+
+    Determinism: randomness is split {e before} fan-out — request [i]
+    draws its padding and nonce from a child DRBG seeded with
+    [(seed, i)] — so the response bytes are a function of the batch
+    inputs alone. [process ?pool] therefore returns bit-identical output
+    for any pool size, including no pool at all; the parallel-equivalence
+    suite pins this down by digest. *)
+
+type request = { src : Net.Ipaddr.t; pubkey : string }
+
+val process :
+  ?pool:Par.pool ->
+  ?chunk:int ->
+  master:Master_key.t ->
+  seed:string ->
+  request array ->
+  string option array
+(** [process ?pool ~master ~seed reqs] answers every request:
+    [Some shim] is an encoded key-setup response, [None] an undecodable
+    or too-small public key (the caller rejects those). Results are
+    indexed like [reqs] (arrival order). Without [pool] — or with a
+    size-1 pool — the batch runs sequentially on the caller; output is
+    identical either way.
+
+    Must not be called while [master] is being rotated (the engine
+    thread owns rotation; batches run between engine events). *)
+
+val respond :
+  master:Master_key.t -> seed:string -> int -> request -> string option
+(** One request of a batch, at index [i] — the unit of work [process]
+    distributes. Exposed for the equivalence tests. *)

@@ -60,10 +60,14 @@ let te3 =
 
 type key = {
   rkw : int array; (* round keys as 44 big-endian column words *)
-  rk : int array array Lazy.t;
+  rk : int array array option Atomic.t;
       (* byte-level round keys, only needed by decryption and the
          reference implementation; the encrypt fast path never pays for
-         them *)
+         them. An Atomic rather than a Lazy: forcing a Lazy from two
+         domains at once raises Lazy.Undefined, and a key is shared
+         across domains by the parallel batch planes. The compute is
+         pure and idempotent, so racing domains that both build the
+         table agree; the CAS publishes one fully-built copy. *)
 }
 
 (* Op counts (family [crypto.aes]): one increment per public operation,
@@ -108,13 +112,24 @@ let expand_key k =
     in
     w.(i) <- w.(i - 4) lxor t
   done;
-  let rk =
-    lazy
-      (Array.init 11 (fun r ->
-           Array.init 16 (fun j ->
-               (w.((4 * r) + (j / 4)) lsr (8 * (3 - (j mod 4)))) land 0xff)))
-  in
-  { rkw = w; rk }
+  { rkw = w; rk = Atomic.make None }
+
+(* Byte-level round keys, built on first use by decryption or the
+   reference encryptor. Pure function of [rkw], so concurrent builders
+   compute identical tables; whoever wins the CAS publishes, losers use
+   their own copy (equally valid). *)
+let round_keys k =
+  match Atomic.get k.rk with
+  | Some rk -> rk
+  | None ->
+      let rk =
+        Array.init 11 (fun r ->
+            Array.init 16 (fun j ->
+                (k.rkw.((4 * r) + (j / 4)) lsr (8 * (3 - (j mod 4)))) land 0xff))
+      in
+      if Atomic.compare_and_set k.rk None (Some rk) then rk
+      else
+        (match Atomic.get k.rk with Some rk' -> rk' | None -> rk)
 
 (* State layout: state.(r + 4*c) = byte r of column c (FIPS 197 order:
    input byte i goes to row i mod 4, column i / 4). *)
@@ -167,8 +182,8 @@ let inv_mix_columns st =
 let state_of_string s = Array.init 16 (fun i -> Char.code s.[i])
 let string_of_state st = String.init 16 (fun i -> Char.chr st.(i))
 
-let encrypt_block_reference { rk; _ } block =
-  let rk = Lazy.force rk in
+let encrypt_block_reference key block =
+  let rk = round_keys key in
   if String.length block <> block_size then
     invalid_arg "Aes.encrypt_block: need 16 bytes";
   let st = state_of_string block in
@@ -262,8 +277,8 @@ let encrypt_block key block =
   encrypt_bytes key ~src:(Bytes.unsafe_of_string block) ~dst;
   Bytes.unsafe_to_string dst
 
-let decrypt_block { rk; _ } block =
-  let rk = Lazy.force rk in
+let decrypt_block key block =
+  let rk = round_keys key in
   if String.length block <> block_size then
     invalid_arg "Aes.decrypt_block: need 16 bytes";
   Obs.Counter.inc c_dec_blocks;

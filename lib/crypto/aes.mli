@@ -8,6 +8,10 @@
     uses 128-bit AES for both hashing and encryption/decryption", §4). *)
 
 type key
+(** An expanded key is immutable apart from a write-once atomic cache of
+    decrypt-side round keys, so one [key] may be shared freely across
+    domains: concurrent [encrypt_*] / [decrypt_block] calls are safe and
+    deterministic. *)
 
 (** [expand_key k] precomputes the round keys. [k] must be 16 bytes. *)
 val expand_key : string -> key

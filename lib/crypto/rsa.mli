@@ -7,7 +7,13 @@
     (nonce, Ks) pair for roughly two round-trip times. End-to-end
     encryption uses ordinary 1024-bit keys. Both are textbook-RSA with
     PKCS#1 v1.5-style random padding; like the paper, we treat
-    chosen-ciphertext hardening as out of scope. *)
+    chosen-ciphertext hardening as out of scope.
+
+    Keys are immutable and every operation is pure given its [rng], so
+    one key may be used from several domains concurrently — each worker
+    of a parallel key-setup batch must simply bring its own [rng]
+    stream (see {!Core.Setup_batch} for the split-before-fan-out
+    pattern). *)
 
 type public = { n : Bignum.Nat.t; e : Bignum.Nat.t; bits : int }
 

@@ -1,0 +1,37 @@
+(** Domain-pool scaling sweep over the parallel planes.
+
+    Runs the E1 key-setup batch plane ({!Core.Setup_batch}) and the E2
+    datapath blind/unblind plane (immutable {!Core.Datapath.session}s
+    shared across domains) at every pool size from 1 up to the box's
+    recommended domain count (always at least 2, so real domains are
+    exercised even on a single core), measuring throughput and digesting
+    the output bytes at each size. The digests must agree across the
+    sweep — pool size 1 {e is} the sequential implementation — which is
+    the parallelism subsystem's central claim. *)
+
+type point = {
+  pool : int;
+  e1_ops_per_sec : float;
+  e2_ops_per_sec : float;
+  e1_digest : string;  (** hex SHA-256 over the batch's response bytes *)
+  e2_digest : string;
+}
+
+type result = {
+  recommended_domains : int;
+  min_time : float;
+  e1_batch : int;
+  e2_batch : int;
+  points : point list;
+  e1_equivalent : bool;  (** every point's digest matches pool=1 *)
+  e2_equivalent : bool;
+  e1_best_speedup : float;  (** best throughput over the pool=1 point *)
+  e2_best_speedup : float;
+}
+
+val run : ?min_time:float -> unit -> result
+val print : result -> unit
+
+val to_json : result -> string
+(** The BENCH_par.json payload: per-pool-size throughput and speedup
+    curves plus the sequential-equivalence digests. *)

@@ -2,7 +2,12 @@
 
     Counters only ever grow: {!add} rejects negative increments, so a
     counter's value is a faithful running total. Use a {!Gauge.t} for
-    quantities that can move both ways. *)
+    quantities that can move both ways.
+
+    Increments are atomic, so an already-resolved counter may be bumped
+    from any domain — the fast path a parallel batch (lib/par) relies
+    on. Only the {e resolution} of a counter through {!Registry.counter}
+    must stay on the engine thread (it mutates the registry table). *)
 
 type t
 

@@ -1,7 +1,16 @@
-type t = { mutable v : float }
+(* Atomic for the same reason as [Counter]: the keypool's background
+   refill domain moves its depth gauge while the engine thread reads and
+   exports it. [set] is a plain atomic store; [add] is a CAS loop, which
+   never contends in practice (gauges have a single writer at a time). *)
 
-let create () = { v = 0.0 }
-let set t v = t.v <- v
-let add t d = t.v <- t.v +. d
-let set_int t v = t.v <- float_of_int v
-let value t = t.v
+type t = float Atomic.t
+
+let create () = Atomic.make 0.0
+let set t v = Atomic.set t v
+
+let rec add t d =
+  let cur = Atomic.get t in
+  if not (Atomic.compare_and_set t cur (cur +. d)) then add t d
+
+let set_int t v = Atomic.set t (float_of_int v)
+let value t = Atomic.get t

@@ -8,7 +8,12 @@
     re-registered as another.
 
     The registry also carries the clock that {!Span} measures against —
-    in the simulator, the event engine points it at simulated time. *)
+    in the simulator, the event engine points it at simulated time.
+
+    Domain-safety: resolution ({!counter}/{!gauge}/{!histogram}) mutates
+    the registry table and must stay on the engine thread. Instances
+    already resolved may be bumped from worker domains — counter and
+    gauge updates are atomic. Histograms are engine-thread only. *)
 
 type t
 

@@ -1,0 +1,138 @@
+(* A hand-rolled fixed-size domain pool. One mutex guards the job queue
+   and the per-batch completion count; [work] wakes idle workers when
+   jobs arrive (or at shutdown), [finished] wakes the submitter when the
+   last straggler of its batch completes. Determinism comes from
+   indexing, not scheduling: each chunk writes into its own slot of a
+   results array, and the submitter reassembles the slots in submission
+   order once the batch-wide count reaches zero (the mutex hand-off is
+   also the happens-before edge publishing the workers' writes). *)
+
+type pool = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stop : bool;
+}
+
+let size t = t.size
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  let job = ref None in
+  let rec wait () =
+    if not t.stop then begin
+      match Queue.take_opt t.jobs with
+      | Some j -> job := Some j
+      | None ->
+        Condition.wait t.work t.m;
+        wait ()
+    end
+  in
+  wait ();
+  Mutex.unlock t.m;
+  match !job with
+  | Some j ->
+    (* Jobs trap their own exceptions (see [map_chunks]); nothing
+       escapes into the worker loop. *)
+    j ();
+    worker_loop t
+  | None -> ()
+
+let create ~size () =
+  if size < 1 then invalid_arg "Par.create: size must be >= 1";
+  let t =
+    { size;
+      workers = [||];
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      jobs = Queue.create ();
+      stop = false
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ~size f =
+  let t = create ~size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_chunks ?chunk t ~f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk with
+      | Some c ->
+        if c < 1 then invalid_arg "Par.map_chunks: chunk must be >= 1";
+        c
+      | None ->
+        (* ~4 chunks per worker: enough slack to absorb uneven chunk
+           cost without drowning in queue traffic. *)
+        max 1 ((n + (4 * t.size) - 1) / (4 * t.size))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let out = Array.make nchunks [||] in
+    let exns = Array.make nchunks None in
+    let remaining = ref nchunks in
+    let job i () =
+      let lo = i * chunk in
+      let len = min chunk (n - lo) in
+      (try out.(i) <- Array.init len (fun j -> f xs.(lo + j))
+       with e -> exns.(i) <- Some e);
+      Mutex.lock t.m;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.m
+    in
+    Mutex.lock t.m;
+    for i = 0 to nchunks - 1 do
+      Queue.add (job i) t.jobs
+    done;
+    Condition.broadcast t.work;
+    (* The submitter works the queue too — pool size 1 is exactly the
+       sequential path — then sleeps until the last worker's chunk is
+       in. *)
+    let rec help () =
+      match Queue.take_opt t.jobs with
+      | Some j ->
+        Mutex.unlock t.m;
+        j ();
+        Mutex.lock t.m;
+        help ()
+      | None -> ()
+    in
+    help ();
+    while !remaining > 0 do
+      Condition.wait t.finished t.m
+    done;
+    Mutex.unlock t.m;
+    Array.iter (function Some e -> raise e | None -> ()) exns;
+    Array.concat (Array.to_list out)
+  end
+
+let recommended () = Domain.recommended_domain_count ()
+
+let env_int name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let default_size () =
+  let r = recommended () in
+  match env_int "PAR_POOL" with
+  | Some n -> max 1 (min n r)
+  | None -> r
+
+let seed () = Option.value ~default:1 (env_int "PAR_SEED")

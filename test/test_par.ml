@@ -1,0 +1,497 @@
+(* Parallel-equivalence suite for the multicore subsystem (lib/par and
+   the planes threaded through it).
+
+   The central claim under test: running work through a domain pool
+   changes wall-clock time and nothing else. Key-setup response bytes,
+   keytab contents, datapath outputs and obs counter totals must be
+   bit-identical at pool sizes 1, 2 and 4 — pool size 1 *is* the
+   sequential implementation. Alongside the equivalence properties live
+   crypto reentrancy KATs (the shared fixtures really are safe to share)
+   and regression tests for the sharing hazards the reentrancy pass
+   fixed: the Lazy decrypt round keys in Aes and the per-session scratch
+   buffers in Datapath. *)
+
+let prop ?(count = 50) ~name ~print gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+(* Pools are reused across test cases to amortize domain spawn; tests in
+   a binary run sequentially, so the single-submitter contract holds. *)
+let pool2 = Par.create ~size:2 ()
+let pool4 = Par.create ~size:4 ()
+let () = at_exit (fun () -> Par.shutdown pool2; Par.shutdown pool4)
+let pools () = [ (1, None); (2, Some pool2); (4, Some pool4) ]
+
+let () =
+  Printf.printf
+    "test_par: PAR_SEED=%d PAR_POOL default=%d recommended domains=%d\n%!"
+    (Par.seed ()) (Par.default_size ())
+    (Par.recommended ())
+
+let hex = Crypto.Bytes_util.of_hex
+
+(* ---- the pool itself ---- *)
+
+let test_map_chunks_order () =
+  let xs = Array.init 1000 (fun i -> i) in
+  List.iter
+    (fun (label, pool) ->
+      List.iter
+        (fun chunk ->
+          let got =
+            match pool with
+            | None -> Array.map (fun x -> x * x) xs
+            | Some p -> Par.map_chunks ~chunk p ~f:(fun x -> x * x) xs
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "pool=%d chunk=%d" label chunk)
+            (Array.init 1000 (fun i -> i * i))
+            got)
+        [ 1; 7; 64; 5000 ])
+    (pools ())
+
+let test_map_chunks_empty_and_small () =
+  Alcotest.(check (array int))
+    "empty" [||]
+    (Par.map_chunks pool4 ~f:(fun x -> x) [||]);
+  Alcotest.(check (array int))
+    "singleton" [| 42 |]
+    (Par.map_chunks pool4 ~f:(fun x -> x * 2) [| 21 |])
+
+let test_map_chunks_exception () =
+  (* The lowest-index failure is the one re-raised, whatever domain hit
+     it first. *)
+  let xs = Array.init 100 (fun i -> i) in
+  List.iter
+    (fun p ->
+      match
+        Par.map_chunks ~chunk:3 p
+          ~f:(fun x -> if x >= 30 then failwith (string_of_int x) else x)
+          xs
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        Alcotest.(check string) "lowest index wins" "30" msg)
+    [ pool2; pool4 ];
+  (* The pool survives a failed batch. *)
+  Alcotest.(check (array int))
+    "pool usable after failure"
+    (Array.map (fun x -> x + 1) xs)
+    (Par.map_chunks pool4 ~f:(fun x -> x + 1) xs)
+
+let test_with_pool () =
+  let r = Par.with_pool ~size:3 (fun p -> Par.size p) in
+  Alcotest.(check int) "size" 3 r;
+  Alcotest.check_raises "size must be positive"
+    (Invalid_argument "Par.create: size must be >= 1") (fun () ->
+      ignore (Par.with_pool ~size:0 (fun _ -> ())))
+
+(* ---- equivalence: key-setup batching ---- *)
+
+let batch_master = Core.Master_key.of_seed ~seed:"test-par"
+
+let pubkeys =
+  lazy
+    (Array.init 4 (fun i ->
+         Crypto.Rsa.public_to_string (Scenario.Keyring.onetime i).Crypto.Rsa.public))
+
+let gen_request =
+  QCheck2.Gen.(
+    let* valid = frequency [ (6, return true); (1, return false) ] in
+    let* src = int_range 2 250 in
+    let src = Net.Ipaddr.of_string (Printf.sprintf "10.1.0.%d" src) in
+    if valid then
+      let* k = int_bound 3 in
+      return { Core.Setup_batch.src; pubkey = (Lazy.force pubkeys).(k) }
+    else
+      let* junk = string_size ~gen:char (int_bound 30) in
+      return { Core.Setup_batch.src; pubkey = junk })
+
+let print_request (r : Core.Setup_batch.request) =
+  Printf.sprintf "{src=%s; pubkey=%d bytes}"
+    (Net.Ipaddr.to_string r.src)
+    (String.length r.pubkey)
+
+let setup_batch_equivalence =
+  prop ~count:30 ~name:"setup_batch: bytes identical at pool sizes 1/2/4"
+    ~print:QCheck2.Print.(pair (list print_request) string)
+    QCheck2.Gen.(pair (list_size (int_bound 20) gen_request) (string_size (return 8)))
+    (fun (reqs, seed) ->
+      let reqs = Array.of_list reqs in
+      let reference =
+        Array.mapi
+          (fun i r -> Core.Setup_batch.respond ~master:batch_master ~seed i r)
+          reqs
+      in
+      List.for_all
+        (fun (_, pool) ->
+          Core.Setup_batch.process ?pool ~chunk:3 ~master:batch_master ~seed
+            reqs
+          = reference)
+        (pools ()))
+
+(* ---- equivalence: sharded keytab ---- *)
+
+let grant_of i : Core.Keytab.grant =
+  { epoch = i mod 5;
+    nonce = Printf.sprintf "nonce-%02d" (i mod 89);
+    key =
+      String.sub
+        (Crypto.Sha256.digest (Printf.sprintf "ks-%d" i))
+        0 Core.Protocol.key_len;
+    obtained_at = Int64.of_int i
+  }
+
+let neutralizer_of i = Net.Ipaddr.of_string (Printf.sprintf "10.9.%d.1" (i mod 40))
+
+let keytab_digest tab =
+  let entries =
+    List.map
+      (fun (addr, (g : Core.Keytab.grant)) ->
+        Printf.sprintf "%s|%d|%s|%s|%Ld" (Net.Ipaddr.to_string addr) g.epoch
+          g.nonce
+          (Crypto.Bytes_util.to_hex g.key)
+          g.obtained_at)
+      (Core.Keytab.grants tab)
+  in
+  Crypto.Sha256.digest_hex (String.concat ";" (List.sort compare entries))
+
+let keytab_parallel_equivalence =
+  prop ~count:30 ~name:"keytab: parallel puts digest-equal to sequential"
+    ~print:QCheck2.Print.int
+    QCheck2.Gen.(int_range 1 120)
+    (fun n ->
+      let items = Array.init n (fun i -> i) in
+      (* One neutralizer per index: concurrent puts to the SAME key are
+         last-writer-wins (inherently schedule-dependent), so the
+         deterministic fan-out contract is over distinct keys. *)
+      let distinct i =
+        Net.Ipaddr.of_string (Printf.sprintf "10.9.%d.%d" (i / 200) (2 + (i mod 200)))
+      in
+      let digest_with pool =
+        let tab = Core.Keytab.create () in
+        let put i =
+          let g = grant_of i in
+          Core.Keytab.put tab ~neutralizer:(distinct i) g;
+          ignore (Core.Keytab.session tab g)
+        in
+        (match pool with
+        | None -> Array.iter put items
+        | Some p -> Par.map_chunks ~chunk:5 p ~f:put items |> ignore);
+        keytab_digest tab
+      in
+      let reference = digest_with None in
+      List.for_all (fun (_, pool) -> digest_with pool = reference) (pools ()))
+
+let test_keytab_session_memo_shared () =
+  (* Concurrent session lookups for one grant all get the one memoized
+     session — the shard mutex makes exactly one creator win. *)
+  let tab = Core.Keytab.create () in
+  let g = grant_of 7 in
+  let sessions =
+    Par.map_chunks ~chunk:1 pool4 ~f:(fun _ -> Core.Keytab.session tab g)
+      (Array.init 64 (fun i -> i))
+  in
+  Alcotest.(check int) "one session memoized" 1 (Core.Keytab.session_count tab);
+  Alcotest.(check bool)
+    "all physically equal" true
+    (Array.for_all (fun s -> s == sessions.(0)) sessions)
+
+(* ---- equivalence: obs counters ---- *)
+
+let obs_counter_equivalence =
+  prop ~count:20 ~name:"obs: counter totals exact under 4-domain bumps"
+    ~print:QCheck2.Print.int
+    QCheck2.Gen.(int_range 1 5000)
+    (fun n ->
+      let c = Obs.Counter.create () in
+      Par.map_chunks ~chunk:(max 1 (n / 8)) pool4
+        ~f:(fun _ -> Obs.Counter.inc c)
+        (Array.init n (fun i -> i))
+      |> ignore;
+      Obs.Counter.value c = n)
+
+let test_gauge_concurrent_add () =
+  let g = Obs.Gauge.create () in
+  Par.map_chunks ~chunk:100 pool4
+    ~f:(fun _ -> Obs.Gauge.add g 1.0)
+    (Array.init 4000 (fun i -> i))
+  |> ignore;
+  Alcotest.(check (float 1e-6)) "CAS add loses nothing" 4000.0 (Obs.Gauge.value g)
+
+(* ---- crypto reentrancy: KATs from 4 domains at once ---- *)
+
+let aes_kat () =
+  let key = Crypto.Aes.expand_key (hex "000102030405060708090a0b0c0d0e0f") in
+  let pt = hex "00112233445566778899aabbccddeeff" in
+  let ct = Crypto.Aes.encrypt_block key pt in
+  ct = hex "69c4e0d86a7b0430d8cdb78070b4c55a"
+  && Crypto.Aes.decrypt_block key ct = pt
+  && Crypto.Aes.encrypt_block_reference key pt = ct
+
+let cmac_kat () =
+  let k = Crypto.Cmac.key (hex "2b7e151628aed2a6abf7158809cf4f3c") in
+  Crypto.Cmac.mac k "" = hex "bb1d6929e95937287fa37d129b756746"
+  && Crypto.Cmac.mac k (hex "6bc1bee22e409f96e93d7e117393172a")
+     = hex "070a16b46b4d4144f79bdd9dd04a287c"
+
+let sha256_kat () =
+  Crypto.Sha256.digest_hex "abc"
+  = "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+  && Crypto.Sha256.digest_hex ""
+     = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+
+let run_from_domains ~domains ~iters f =
+  let spawned =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            for _ = 1 to iters do
+              if not (f ()) then ok := false
+            done;
+            !ok))
+  in
+  List.for_all Domain.join spawned
+
+let test_crypto_reentrant_kats () =
+  Alcotest.(check bool)
+    "AES FIPS-197 from 4 domains" true
+    (run_from_domains ~domains:4 ~iters:50 aes_kat);
+  Alcotest.(check bool)
+    "CMAC RFC 4493 from 4 domains" true
+    (run_from_domains ~domains:4 ~iters:50 cmac_kat);
+  Alcotest.(check bool)
+    "SHA-256 RFC 6234 vectors from 4 domains" true
+    (run_from_domains ~domains:4 ~iters:50 sha256_kat)
+
+(* ---- regressions for the specific hazards the reentrancy pass fixed ---- *)
+
+let test_aes_decrypt_shared_key () =
+  (* Before the fix the decrypt round keys were a [Lazy.t]; two domains
+     forcing it together could raise (Lazy is not domain-safe). Each
+     iteration shares a FRESH key across 4 domains so the first force
+     always races. *)
+  for i = 0 to 24 do
+    let key =
+      Crypto.Aes.expand_key
+        (String.sub (Crypto.Sha256.digest (Printf.sprintf "k%d" i)) 0 16)
+    in
+    let pt = String.sub (Crypto.Sha256.digest (Printf.sprintf "p%d" i)) 0 16 in
+    let ct = Crypto.Aes.encrypt_block key pt in
+    if
+      not
+        (run_from_domains ~domains:4 ~iters:1 (fun () ->
+             Crypto.Aes.decrypt_block key ct = pt))
+    then Alcotest.failf "shared-key decrypt diverged at iteration %d" i
+  done
+
+let test_datapath_session_shared () =
+  (* Before the fix a session carried reused tag scratch buffers; two
+     domains tagging at once could cross-talk and produce a bad tag.
+     Shared session, disjoint addresses per domain, every round trip
+     must agree with the stateless reference. *)
+  let drbg = Crypto.Drbg.create ~seed:"par-session" in
+  let rng n = Crypto.Drbg.generate drbg n in
+  let ks = rng Core.Protocol.key_len in
+  let nonce = rng Core.Protocol.nonce_len in
+  let epoch = 2 in
+  let s = Core.Datapath.make_session ~ks ~epoch ~nonce in
+  let addr_of d i = Net.Ipaddr.of_string (Printf.sprintf "10.%d.3.%d" (20 + d) (2 + i)) in
+  let reference d i =
+    let a = addr_of d i in
+    (a, Core.Datapath.blind ~ks ~epoch ~nonce a)
+  in
+  let refs = Array.init 4 (fun d -> Array.init 100 (reference d)) in
+  let did = Atomic.make 0 in
+  let ok =
+    run_from_domains ~domains:4 ~iters:1 (fun () ->
+        let d = Atomic.fetch_and_add did 1 in
+        Array.for_all
+          (fun (a, (enc_ref, tag_ref)) ->
+            let enc, tag = Core.Datapath.blind_session s a in
+            enc = enc_ref && tag = tag_ref
+            && Core.Datapath.unblind_session s ~enc_addr:enc ~tag
+               = Some a)
+          refs.(d))
+  in
+  Alcotest.(check bool) "shared session matches stateless reference" true ok
+
+(* ---- keytab stress: sharded vs sequential model ---- *)
+
+type keytab_op =
+  | Put of int
+  | Invalidate of int
+  | Drop of int * int  (* now, max_age *)
+
+let gen_op =
+  QCheck2.Gen.(
+    frequency
+      [ (6, map (fun i -> Put i) (int_bound 200));
+        (2, map (fun i -> Invalidate i) (int_bound 200));
+        (1, map2 (fun now age -> Drop (now, age)) (int_bound 250) (int_bound 60))
+      ])
+
+let print_op = function
+  | Put i -> Printf.sprintf "Put %d" i
+  | Invalidate i -> Printf.sprintf "Invalidate %d" i
+  | Drop (n, a) -> Printf.sprintf "Drop(%d,%d)" n a
+
+(* Sequential reference model: assoc lists, the spec made executable. *)
+module Model = struct
+  type t = {
+    mutable cur : (string * Core.Keytab.grant) list;  (* key: addr octets *)
+    mutable by_nonce : (string * Core.Keytab.grant) list;
+  }
+
+  let create () = { cur = []; by_nonce = [] }
+  let okey a = Net.Ipaddr.to_octets a
+
+  let put m ~neutralizer g =
+    m.cur <- (okey neutralizer, g) :: List.remove_assoc (okey neutralizer) m.cur;
+    let nk = okey neutralizer ^ g.Core.Keytab.nonce in
+    m.by_nonce <- (nk, g) :: List.remove_assoc nk m.by_nonce
+
+  let current m ~neutralizer = List.assoc_opt (okey neutralizer) m.cur
+
+  let find_nonce m ~neutralizer ~nonce =
+    List.assoc_opt (okey neutralizer ^ nonce) m.by_nonce
+
+  let invalidate m ~neutralizer =
+    m.cur <- List.remove_assoc (okey neutralizer) m.cur
+
+  let drop m ~now ~max_age =
+    let live (_, (g : Core.Keytab.grant)) =
+      Int64.compare (Int64.sub now g.obtained_at) max_age <= 0
+    in
+    let dropped = List.length (List.filter (fun e -> not (live e)) m.by_nonce) in
+    m.cur <- List.filter live m.cur;
+    m.by_nonce <- List.filter live m.by_nonce;
+    dropped
+end
+
+let keytab_model_stress =
+  prop ~count:40 ~name:"keytab: sharded table matches sequential model"
+    ~print:QCheck2.Print.(list print_op)
+    QCheck2.Gen.(list_size (int_bound 80) gen_op)
+    (fun ops ->
+      let tab = Core.Keytab.create () in
+      let m = Model.create () in
+      let expected_evictions = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Put i ->
+            let g = grant_of i in
+            Core.Keytab.put tab ~neutralizer:(neutralizer_of i) g;
+            Model.put m ~neutralizer:(neutralizer_of i) g
+          | Invalidate i ->
+            Core.Keytab.invalidate tab ~neutralizer:(neutralizer_of i);
+            Model.invalidate m ~neutralizer:(neutralizer_of i)
+          | Drop (now, age) ->
+            let now = Int64.of_int now and max_age = Int64.of_int age in
+            Core.Keytab.drop_older_than tab ~now ~max_age;
+            expected_evictions := !expected_evictions + Model.drop m ~now ~max_age)
+        ops;
+      (* Every observable agrees with the model at every probe point. *)
+      let agree_at i =
+        let neutralizer = neutralizer_of i in
+        Core.Keytab.current tab ~neutralizer = Model.current m ~neutralizer
+        && List.for_all
+             (fun j ->
+               let nonce = (grant_of j).Core.Keytab.nonce in
+               Core.Keytab.find_nonce tab ~neutralizer ~nonce
+               = Model.find_nonce m ~neutralizer ~nonce)
+             [ i; i + 1; i + 89 ]
+      in
+      List.for_all agree_at (List.init 40 (fun i -> i))
+      && Core.Keytab.evictions tab = !expected_evictions)
+
+let test_keytab_eviction_exactly_once () =
+  let tab = Core.Keytab.create () in
+  for i = 0 to 4 do
+    let g = { (grant_of i) with obtained_at = 0L } in
+    Core.Keytab.put tab ~neutralizer:(neutralizer_of i) g;
+    ignore (Core.Keytab.session tab g)
+  done;
+  Alcotest.(check int) "sessions materialized" 5 (Core.Keytab.session_count tab);
+  Core.Keytab.drop_older_than tab ~now:10L ~max_age:5L;
+  Alcotest.(check int) "each stale grant evicted once" 5 (Core.Keytab.evictions tab);
+  Alcotest.(check int) "sessions evicted with grants" 0
+    (Core.Keytab.session_count tab);
+  Alcotest.(check int) "no grants left" 0 (List.length (Core.Keytab.grants tab));
+  (* Idempotent: a second pass finds nothing stale. *)
+  Core.Keytab.drop_older_than tab ~now:10L ~max_age:5L;
+  Alcotest.(check int) "double drop evicts nothing more" 5
+    (Core.Keytab.evictions tab)
+
+(* ---- keypool: background-domain refill keeps FIFO determinism ---- *)
+
+let test_keypool_domain_refill_deterministic () =
+  (* Pre-warm the keyring on this thread (its memo table is engine-side
+     state); the pool's generator then only reads it. *)
+  let n_keys = 6 in
+  for i = 0 to n_keys - 1 do
+    ignore (Scenario.Keyring.onetime i)
+  done;
+  let take_sequence with_domain =
+    let next = ref 0 in
+    let generate () =
+      let i = !next in
+      incr next;
+      Scenario.Keyring.onetime i
+    in
+    let pool = Core.Keypool.create ~target:2 ~generate () in
+    if with_domain then Core.Keypool.attach_domain pool;
+    let taken =
+      List.init n_keys (fun _ ->
+          Crypto.Rsa.public_to_string (Core.Keypool.take pool).Crypto.Rsa.public)
+    in
+    if with_domain then Core.Keypool.detach_domain pool;
+    taken
+  in
+  let expected =
+    List.init n_keys (fun i ->
+        Crypto.Rsa.public_to_string (Scenario.Keyring.onetime i).Crypto.Rsa.public)
+  in
+  Alcotest.(check (list string))
+    "sequential takes are generator order" expected (take_sequence false);
+  Alcotest.(check (list string))
+    "takes with refill domain are the same sequence" expected
+    (take_sequence true)
+
+let () =
+  Alcotest.run "par"
+    [ ( "pool",
+        [ Alcotest.test_case "map_chunks order" `Quick test_map_chunks_order;
+          Alcotest.test_case "empty and small" `Quick
+            test_map_chunks_empty_and_small;
+          Alcotest.test_case "exception propagation" `Quick
+            test_map_chunks_exception;
+          Alcotest.test_case "with_pool" `Quick test_with_pool
+        ] );
+      ( "equivalence",
+        [ setup_batch_equivalence;
+          keytab_parallel_equivalence;
+          obs_counter_equivalence;
+          Alcotest.test_case "session memo shared" `Quick
+            test_keytab_session_memo_shared;
+          Alcotest.test_case "gauge concurrent add" `Quick
+            test_gauge_concurrent_add
+        ] );
+      ( "reentrancy",
+        [ Alcotest.test_case "crypto KATs from 4 domains" `Quick
+            test_crypto_reentrant_kats;
+          Alcotest.test_case "aes: shared-key decrypt (regression)" `Quick
+            test_aes_decrypt_shared_key;
+          Alcotest.test_case "datapath: shared session (regression)" `Quick
+            test_datapath_session_shared
+        ] );
+      ( "keytab",
+        [ keytab_model_stress;
+          Alcotest.test_case "eviction exactly once" `Quick
+            test_keytab_eviction_exactly_once
+        ] );
+      ( "keypool",
+        [ Alcotest.test_case "domain refill determinism" `Quick
+            test_keypool_domain_refill_deterministic
+        ] )
+    ]

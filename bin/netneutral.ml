@@ -439,6 +439,30 @@ let run_par quick out =
     close_out oc;
     Printf.printf "par results written to %s\n" out
 
+(* `netneutral pdes`: the sharded-engine scaling sweep — events/s and
+   shard-count-equivalence digests at shard counts 1/2/4, written as
+   BENCH_pdes.json. A digest divergence is a failed run. *)
+let run_pdes quick out =
+  let r =
+    if quick then Experiments.Pdes_scaling.run ~tokens:32 ~hops:200 ()
+    else Experiments.Pdes_scaling.run ()
+  in
+  Experiments.Pdes_scaling.print r;
+  if not r.Experiments.Pdes_scaling.equivalent then begin
+    Printf.eprintf
+      "netneutral: sharded engine diverged from the sequential reference\n";
+    exit 1
+  end;
+  match open_out out with
+  | exception Sys_error msg ->
+    Printf.eprintf "netneutral: cannot write pdes results: %s\n" msg;
+    exit 1
+  | oc ->
+    output_string oc (Experiments.Pdes_scaling.to_json r);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "pdes results written to %s\n" out
+
 let experiments =
   [ ("e1", "key-setup throughput (paper section 4)", run_e1);
     ("e2", "data-path vs vanilla forwarding throughput", run_e2);
@@ -556,6 +580,22 @@ let () =
             bit-identical to pool=1)")
       Term.(const run_par $ quick_flag $ out_opt)
   in
+  let pdes_cmd =
+    let out_opt =
+      let doc = "Write the JSON results to $(docv)." in
+      Arg.(
+        value & opt string "BENCH_pdes.json"
+        & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "pdes"
+         ~doc:
+           "Sharded-engine scaling sweep: a token workload on a ring \
+            topology at shard counts 1/2/4 with conservative lookahead, \
+            with shard-count-equivalence digests (any divergence from \
+            the sequential engine fails the run)")
+      Term.(const run_pdes $ quick_flag $ out_opt)
+  in
   let overload_cmd =
     let seed_opt =
       let doc =
@@ -601,4 +641,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: stats_cmd
-           :: chaos_cmd :: overload_cmd :: bench_cmd :: par_cmd :: exp_cmds)))
+           :: chaos_cmd :: overload_cmd :: bench_cmd :: par_cmd :: pdes_cmd
+           :: exp_cmds)))

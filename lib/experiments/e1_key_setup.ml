@@ -19,6 +19,31 @@ let processing_op () =
     | Some _ -> ()
     | None -> failwith "E1: key setup rejected"
 
+(* Deterministic observation table: 16 key-setup responses from a fixed
+   master key and DRBG, one row per request with the response shim's
+   digest and the granted (epoch, nonce, Ks). No wall clock anywhere,
+   so the rendered rows are byte-identical on every run and every
+   machine — test_experiments pins their SHA-256. *)
+let golden_rows () =
+  let master = Core.Master_key.of_seed ~seed:"e1-golden" in
+  let drbg = Crypto.Drbg.create ~seed:"e1-golden" in
+  let rng n = Crypto.Drbg.generate drbg n in
+  List.map
+    (fun i ->
+      let onetime = Scenario.Keyring.onetime (i mod 8) in
+      let pubkey_blob = Crypto.Rsa.public_to_string onetime.Crypto.Rsa.public in
+      let src = Net.Ipaddr.of_string (Printf.sprintf "10.1.0.%d" (2 + i)) in
+      match Core.Datapath.key_setup_response ~master ~rng ~src ~pubkey_blob with
+      | Some (shim, (epoch, nonce, ks)) ->
+        [ string_of_int i;
+          string_of_int epoch;
+          Crypto.Sha256.digest_hex shim;
+          Crypto.Bytes_util.to_hex nonce;
+          Crypto.Bytes_util.to_hex ks
+        ]
+      | None -> [ string_of_int i; "rejected" ])
+    (List.init 16 Fun.id)
+
 let run ?min_time () =
   let ops_per_sec = Table.measure ?min_time (processing_op ()) in
   { ops_per_sec;

@@ -22,3 +22,9 @@ val print : result -> unit
 val processing_op : unit -> unit -> unit
 (** [processing_op ()] returns the closure the measurement loops over —
     exposed so the bechamel harness benches exactly the same work. *)
+
+val golden_rows : unit -> string list list
+(** A deterministic observation table — 16 fixed-seed key-setup
+    responses with their grant fields and shim digests. Byte-identical
+    on every run; test_experiments pins its SHA-256 as a golden
+    digest. *)

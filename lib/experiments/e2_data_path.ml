@@ -97,6 +97,67 @@ let neutralized_size () =
                }))
        ~src ~dst:anycast payload_64)
 
+(* Deterministic observation table for the golden-digest regression: the
+   blind output plus a chain of forwarded and returned packets from the
+   fixed-seed fixture, each row carrying addresses, size and a digest of
+   the wire bytes. Pure function of the seeds in [fixture]. *)
+let golden_rows () =
+  let master, rng, src, customer, anycast, nonce, epoch, ks = fixture () in
+  let packet_row label (p : Net.Packet.t) =
+    [ label;
+      Net.Ipaddr.to_string p.src ^ "->" ^ Net.Ipaddr.to_string p.dst;
+      string_of_int (Net.Packet.size p);
+      Crypto.Sha256.digest_hex
+        ((match p.shim with Some s -> s | None -> "") ^ p.payload)
+    ]
+  in
+  let enc_addr, tag = Core.Datapath.blind ~ks ~epoch ~nonce customer in
+  let blind_row =
+    [ "blind"; Crypto.Bytes_util.to_hex enc_addr; Crypto.Bytes_util.to_hex tag ]
+  in
+  let forward_rows =
+    List.map
+      (fun i ->
+        let data =
+          { Core.Shim.epoch;
+            nonce;
+            enc_addr;
+            tag;
+            key_request = i mod 2 = 0;
+            from_customer = false;
+            refresh = None
+          }
+        in
+        let packet =
+          Net.Packet.make ~protocol:Net.Packet.Shim
+            ~shim:(Core.Shim.encode (Core.Shim.Data data))
+            ~src ~dst:anycast payload_64
+        in
+        match
+          Core.Datapath.forward_outside_data ~master ~rng ~self:anycast packet
+            data
+        with
+        | Core.Datapath.Forwarded p ->
+          packet_row (Printf.sprintf "forward-%d" i) p
+        | Core.Datapath.Rejected r ->
+          [ Printf.sprintf "forward-%d" i; "rejected"; r ])
+      (List.init 4 Fun.id)
+  in
+  let return_row =
+    let packet =
+      Net.Packet.make ~protocol:Net.Packet.Shim
+        ~shim:(Core.Shim.encode (Core.Shim.Return { epoch; nonce; initiator = src }))
+        ~src:customer ~dst:anycast payload_64
+    in
+    match
+      Core.Datapath.forward_return_data ~master ~self:anycast packet ~epoch
+        ~nonce ~initiator:src
+    with
+    | Core.Datapath.Forwarded p -> packet_row "return" p
+    | Core.Datapath.Rejected r -> [ "return"; "rejected"; r ]
+  in
+  (blind_row :: forward_rows) @ [ return_row ]
+
 let run ?min_time () =
   let forward_pps = Table.measure ?min_time (forward_op ()) in
   let return_pps = Table.measure ?min_time (return_op ()) in

@@ -28,3 +28,9 @@ val print : result -> unit
 val forward_op : unit -> unit -> unit
 val return_op : unit -> unit -> unit
 val vanilla_op : unit -> unit -> unit
+
+val golden_rows : unit -> string list list
+(** A deterministic observation table — the fixed-seed blind output and
+    a chain of forwarded/returned packets with wire-byte digests.
+    Byte-identical on every run; test_experiments pins its SHA-256 as a
+    golden digest. *)

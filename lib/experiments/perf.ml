@@ -79,6 +79,7 @@ type result = {
   session_vs_stateless : float;
   unboxed_vs_boxed_heap : float;
   sim_events_per_s : float;
+  pdes_events_per_s : float;
   counter_resolved_ns : float;
   counter_lookup_ns : float;
 }
@@ -205,6 +206,25 @@ let sim_events_per_s ~min_time =
   done;
   float_of_int !total_events /. elapsed ()
 
+(* ---- sharded-engine event rate ---- *)
+
+(* The pdes token workload at 4 shards on a pool sized to the box,
+   repeated until [min_time] has elapsed. Comparable to
+   [sim_events_per_s]: same engine core, sharded and pooled. *)
+let pdes_events_per_s ~min_time =
+  let shards = 4 in
+  Par.with_pool ~size:(min shards (Par.recommended ())) (fun pool ->
+      let events = ref 0 and seconds = ref 0.0 in
+      while !seconds < min_time do
+        let w =
+          Pdes_scaling.run_workload ~tokens:64 ~hops:400 ~shards
+            ~pool:(Some pool) ()
+        in
+        events := !events + w.Pdes_scaling.events;
+        seconds := !seconds +. w.Pdes_scaling.seconds
+      done;
+      float_of_int !events /. !seconds)
+
 (* ---- obs counter increment cost ---- *)
 
 (* Batch 100 increments per measured op so the measurement loop's own
@@ -242,6 +262,7 @@ let run ?(min_time = 0.4) () =
   let heap_unboxed = m unboxed_heap_op in
   let heap_boxed = m boxed_heap_op in
   let events = sim_events_per_s ~min_time in
+  let pdes_events = pdes_events_per_s ~min_time in
   let ctr_resolved = m counter_resolved_op in
   let ctr_lookup = m counter_lookup_op in
   let ns_per_inc ops = 1e9 /. (ops *. float_of_int counter_batch) in
@@ -301,6 +322,7 @@ let run ?(min_time = 0.4) () =
     session_vs_stateless = blind_session /. blind_stateless;
     unboxed_vs_boxed_heap = heap_unboxed /. heap_boxed;
     sim_events_per_s = events;
+    pdes_events_per_s = pdes_events;
     counter_resolved_ns = ns_per_inc ctr_resolved;
     counter_lookup_ns = ns_per_inc ctr_lookup
   }
@@ -319,6 +341,7 @@ let print r =
       [ "session vs stateless blind"; Table.f2 r.session_vs_stateless ^ "x" ];
       [ "unboxed vs boxed heap"; Table.f2 r.unboxed_vs_boxed_heap ^ "x" ];
       [ "sim events/s"; Table.kops r.sim_events_per_s ];
+      [ "pdes events/s (4 shards)"; Table.kops r.pdes_events_per_s ];
       [ "counter inc (resolved)"; Table.f2 r.counter_resolved_ns ^ " ns" ];
       [ "counter inc (lookup)"; Table.f2 r.counter_lookup_ns ^ " ns" ]
     ]
@@ -341,12 +364,12 @@ let to_json r =
         \"windowed_vs_binary_pow_mod\": %.3f, \
         \"session_vs_stateless_blind\": %.3f, \
         \"unboxed_vs_boxed_heap\": %.3f}, \
-        \"sim_events_per_s\": %.1f, \
+        \"sim_events_per_s\": %.1f, \"pdes_events_per_s\": %.1f, \
         \"metrics_overhead\": {\"counter_inc_resolved_ns\": %.2f, \
         \"counter_inc_lookup_ns\": %.2f, \"note\": \"per-packet obs bump \
         cost with counters pre-resolved at attach vs a registry lookup \
         per bump\"}}"
        r.pooled_vs_cold r.windowed_vs_binary r.session_vs_stateless
-       r.unboxed_vs_boxed_heap r.sim_events_per_s r.counter_resolved_ns
-       r.counter_lookup_ns);
+       r.unboxed_vs_boxed_heap r.sim_events_per_s r.pdes_events_per_s
+       r.counter_resolved_ns r.counter_lookup_ns);
   Buffer.contents buf

@@ -21,6 +21,8 @@ type result = {
   session_vs_stateless : float;
   unboxed_vs_boxed_heap : float;
   sim_events_per_s : float;
+  pdes_events_per_s : float;
+      (** the sharded engine on the pdes token workload, 4 shards *)
   counter_resolved_ns : float;
   counter_lookup_ns : float;
 }

@@ -1,34 +1,127 @@
+(* The event engine, sharded. A shard owns a private event heap, clock
+   and sequence counter; shard count 1 runs the exact sequential loop
+   the rest of the stack has always used (one queue, one clock, global
+   FIFO tie-break). With more shards, [run] advances the simulation in
+   conservative-lookahead rounds: every round processes, on every shard
+   concurrently, the events strictly below [min next event + lookahead],
+   and cross-shard events — which the lookahead bound guarantees land at
+   or beyond that horizon — travel through per-source outboxes merged by
+   the coordinator at the round barrier. Determinism comes from
+   ownership, not scheduling: each shard's heap is touched only by the
+   domain processing it, and the merge walks source shards in index
+   order, so the destination sequence numbers (the FIFO tie-break) are
+   identical no matter how the OS schedules the round's domains. *)
+
 type event = { f : unit -> unit; mutable cancelled : bool }
 
-type t = {
+type shard = {
+  id : int;
   q : event Pqueue.t;
-  mutable clock : int64;
-  mutable seq : int;
-  mutable processed : int;
-  mutable scheduled : int;
-  mutable popped : int;
+  mutable sclock : int64;
+  mutable sseq : int;
+  mutable sprocessed : int;
+  mutable sscheduled : int;
+  mutable spopped : int;
+  (* Cross-shard events posted while this shard executes a round:
+     (destination shard, absolute time, event), FIFO. Only this shard
+     appends during a round; only the coordinator drains at the
+     barrier. *)
+  outbox : (int * int64 * event) Queue.t;
+  (* Per-shard processed counter, resolved on the coordinator at
+     [create] (registry mutation is not domain-safe) and bumped from
+     whichever domain runs the shard (counter increments are atomic). *)
+  c_shard : Obs.Counter.t option;
+}
+
+type t = {
+  shards : shard array;
+  lookahead : int64; (* 0 when single-shard; > 0 otherwise *)
+  mutable clock : int64; (* coordinator clock: per event when
+                            single-shard, per round otherwise *)
+  mutable in_round : bool;
+  mutable horizon : int64; (* exclusive bound of the round in flight *)
   obs : Obs.Registry.t;
   c_processed : Obs.Counter.t;
   c_scheduled : Obs.Counter.t;
   c_cancelled : Obs.Counter.t;
+  c_rounds : Obs.Counter.t option; (* sharded engines only *)
   g_pending : Obs.Gauge.t;
   g_ratio : Obs.Gauge.t;
 }
 
 type handle = event
 
-let create ?(obs = Obs.Registry.default) ?(capacity = 0) () =
+exception
+  Lookahead_violation of {
+    src : int;
+    dst : int;
+    at : int64;
+    horizon : int64;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Lookahead_violation { src; dst; at; horizon } ->
+      Some
+        (Printf.sprintf
+           "Engine.Lookahead_violation(shard %d -> %d at %Ld, safe horizon \
+            %Ld)"
+           src dst at horizon)
+    | _ -> None)
+
+(* Which shard the current domain is executing, set for the duration of
+   one shard's slice of a round ([-1] outside). Routes [schedule]/[post]
+   calls made from inside event handlers to the shard that owns the
+   caller, without threading a context through every closure. *)
+let executing_shard : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let create ?(obs = Obs.Registry.default) ?capacity ?(shards = 1)
+    ?(lookahead = 0L) () =
+  (* Validate here with engine-phrased errors rather than letting the
+     heap's array allocation raise something about Pqueue internals. *)
+  let capacity =
+    match capacity with
+    | None -> 0
+    | Some c ->
+      if c <= 0 then
+        invalid_arg "Engine.create: capacity must be positive when given";
+      c
+  in
+  if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
+  if shards > 1 && Int64.compare lookahead 0L <= 0 then
+    invalid_arg
+      "Engine.create: a sharded engine needs a positive lookahead (the \
+       minimum cross-shard event latency)";
   let t =
-    { q = Pqueue.create ~capacity ();
+    { shards =
+        Array.init shards (fun id ->
+            { id;
+              q = Pqueue.create ~capacity ();
+              sclock = 0L;
+              sseq = 0;
+              sprocessed = 0;
+              sscheduled = 0;
+              spopped = 0;
+              outbox = Queue.create ();
+              c_shard =
+                (if shards = 1 then None
+                 else
+                   Some
+                     (Obs.Registry.counter obs
+                        ~labels:[ ("shard", string_of_int id) ]
+                        "net.engine.shard_processed"))
+            });
+      lookahead = (if shards = 1 then 0L else lookahead);
       clock = 0L;
-      seq = 0;
-      processed = 0;
-      scheduled = 0;
-      popped = 0;
+      in_round = false;
+      horizon = 0L;
       obs;
       c_processed = Obs.Registry.counter obs "net.engine.events_processed";
       c_scheduled = Obs.Registry.counter obs "net.engine.events_scheduled";
       c_cancelled = Obs.Registry.counter obs "net.engine.events_cancelled";
+      c_rounds =
+        (if shards = 1 then None
+         else Some (Obs.Registry.counter obs "net.engine.rounds"));
       g_pending = Obs.Registry.gauge obs "net.engine.pending";
       g_ratio = Obs.Registry.gauge obs "net.engine.sim_wall_ratio"
     }
@@ -41,19 +134,67 @@ let create ?(obs = Obs.Registry.default) ?(capacity = 0) () =
 let obs t = t.obs
 let now t = t.clock
 let now_s t = Int64.to_float t.clock *. 1e-9
+let shards t = Array.length t.shards
+let lookahead t = t.lookahead
+
+let shard_now t ~shard =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Engine.shard_now: unknown shard";
+  t.shards.(shard).sclock
+
+(* The shard a call made right now should act on: the shard this domain
+   is executing (inside a handler), else shard 0 — which for the
+   single-shard engine is the engine. *)
+let calling_shard t =
+  let i = Domain.DLS.get executing_shard in
+  if i >= 0 && i < Array.length t.shards then t.shards.(i) else t.shards.(0)
+
+let push_event s ~time ev =
+  Pqueue.push s.q time s.sseq ev;
+  s.sseq <- s.sseq + 1;
+  s.sscheduled <- s.sscheduled + 1
 
 let schedule t ~delay f =
   if Int64.compare delay 0L < 0 then invalid_arg "Engine.schedule: negative delay";
+  let s = calling_shard t in
+  let base = if Array.length t.shards = 1 then t.clock else s.sclock in
   let ev = { f; cancelled = false } in
-  Pqueue.push t.q (Int64.add t.clock delay) t.seq ev;
-  t.seq <- t.seq + 1;
-  t.scheduled <- t.scheduled + 1;
+  push_event s ~time:(Int64.add base delay) ev;
   Obs.Counter.inc t.c_scheduled;
   ev
 
 let schedule_s t ~delay_s f =
   if delay_s < 0.0 then invalid_arg "Engine.schedule_s: negative delay";
   schedule t ~delay:(Int64.of_float (delay_s *. 1e9)) f
+
+let post t ~shard ~at f =
+  let n = Array.length t.shards in
+  if shard < 0 || shard >= n then invalid_arg "Engine.post: unknown shard";
+  let dst = t.shards.(shard) in
+  let ev = { f; cancelled = false } in
+  let src_id = Domain.DLS.get executing_shard in
+  if src_id >= 0 && src_id < n && src_id <> shard && t.in_round then begin
+    (* Cross-shard, from inside a round: the destination heap belongs to
+       another domain right now, so the event must clear the round's
+       safe horizon and wait in the outbox for the barrier. *)
+    if Int64.compare at t.horizon < 0 then
+      raise (Lookahead_violation { src = src_id; dst = shard; at; horizon = t.horizon });
+    Queue.add (shard, at, ev) t.shards.(src_id).outbox
+  end
+  else begin
+    (* Same shard, or the coordinator between rounds: a direct push.
+       Time may not run backwards past the target shard's clock. *)
+    let floor =
+      if src_id >= 0 && src_id < n then t.shards.(src_id).sclock
+      else if n = 1 then t.clock
+      else dst.sclock
+    in
+    if Int64.compare at floor < 0 then
+      invalid_arg "Engine.post: event scheduled in the past";
+    push_event dst ~time:at ev
+  end;
+  Obs.Counter.inc t.c_scheduled;
+  ev
 
 let cancel ev = ev.cancelled <- true
 
@@ -70,47 +211,166 @@ let every t ~period f =
   ignore (schedule t ~delay:period tick);
   fun () -> stopped := true
 
+let pending t =
+  Array.fold_left
+    (fun acc s -> acc + Pqueue.length s.q + Queue.length s.outbox)
+    0 t.shards
+
+let processed t = Array.fold_left (fun acc s -> acc + s.sprocessed) 0 t.shards
+let scheduled t = Array.fold_left (fun acc s -> acc + s.sscheduled) 0 t.shards
+
 let check_invariants t =
-  if Pqueue.length t.q <> t.scheduled - t.popped then
-    invalid_arg "Engine: pending queue inconsistent with scheduled - popped";
-  if t.processed > t.popped then
-    invalid_arg "Engine: processed exceeds events popped";
-  if t.processed > t.scheduled then
+  Array.iter
+    (fun s ->
+      if Pqueue.length s.q <> s.sscheduled - s.spopped then
+        invalid_arg "Engine: pending queue inconsistent with scheduled - popped";
+      if s.sprocessed > s.spopped then
+        invalid_arg "Engine: processed exceeds events popped";
+      if not (Queue.is_empty s.outbox) then
+        invalid_arg "Engine: outbox not drained at a round barrier";
+      if Int64.compare s.sclock 0L < 0 then invalid_arg "Engine: clock negative")
+    t.shards;
+  if processed t > scheduled t then
     invalid_arg "Engine: processed exceeds events scheduled";
   if Int64.compare t.clock 0L < 0 then invalid_arg "Engine: clock negative"
 
-let run ?until ?max_events t =
-  let wall0 = Sys.time () in
-  let sim0 = t.clock in
+(* ---- shard count 1: the sequential engine, unchanged ---- *)
+
+let run_sequential ?until ?max_events t =
+  let s = t.shards.(0) in
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Pqueue.peek_min t.q with
+    match Pqueue.peek_min s.q with
     | None -> continue := false
     | Some (time, _, _) ->
       (match until with
        | Some limit when Int64.compare time limit > 0 -> continue := false
        | Some _ | None ->
-         (match Pqueue.pop_min t.q with
+         (match Pqueue.pop_min s.q with
           | None -> continue := false
           | Some (time, _, ev) ->
             t.clock <- time;
-            t.popped <- t.popped + 1;
+            s.sclock <- time;
+            s.spopped <- s.spopped + 1;
             if ev.cancelled then Obs.Counter.inc t.c_cancelled
             else begin
               decr budget;
-              t.processed <- t.processed + 1;
+              s.sprocessed <- s.sprocessed + 1;
               Obs.Counter.inc t.c_processed;
               ev.f ()
             end))
+  done
+
+(* ---- shard count > 1: conservative-lookahead rounds ---- *)
+
+(* Drain one shard up to the (exclusive) horizon, also honoring the
+   [until] bound exactly as the sequential loop does (events with
+   [time > until] stay queued). Runs on whichever domain the round
+   assigned this shard to; touches only shard-owned state, atomic obs
+   counters, and — through handlers calling [post]/[schedule] — this
+   shard's own heap and outbox. *)
+let process_shard t ~horizon ~until s =
+  Domain.DLS.set executing_shard s.id;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set executing_shard (-1))
+    (fun () ->
+      let continue = ref true in
+      while !continue do
+        if Pqueue.is_empty s.q then continue := false
+        else begin
+          let tmin = Int64.of_int (Pqueue.min_time s.q) in
+          if
+            Int64.compare tmin horizon >= 0
+            || (match until with
+                | Some limit -> Int64.compare tmin limit > 0
+                | None -> false)
+          then continue := false
+          else
+            match Pqueue.pop_min s.q with
+            | None -> continue := false
+            | Some (time, _, ev) ->
+              s.sclock <- time;
+              s.spopped <- s.spopped + 1;
+              if ev.cancelled then Obs.Counter.inc t.c_cancelled
+              else begin
+                s.sprocessed <- s.sprocessed + 1;
+                Obs.Counter.inc t.c_processed;
+                (match s.c_shard with Some c -> Obs.Counter.inc c | None -> ());
+                ev.f ()
+              end
+        end
+      done)
+
+(* Merge every outbox into the destination heaps, walking source shards
+   in index order so destination sequence numbers — the FIFO tie-break —
+   are a pure function of the simulation, not of domain scheduling. *)
+let merge_outboxes t =
+  Array.iter
+    (fun src ->
+      while not (Queue.is_empty src.outbox) do
+        let dst, at, ev = Queue.pop src.outbox in
+        push_event t.shards.(dst) ~time:at ev
+      done)
+    t.shards
+
+let run_rounds ?pool ?until ?max_events t =
+  let nshards = Array.length t.shards in
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    let tmin =
+      Array.fold_left (fun acc s -> min acc (Pqueue.min_time s.q)) max_int
+        t.shards
+    in
+    if tmin = max_int && Array.for_all (fun s -> Pqueue.is_empty s.q) t.shards
+    then continue := false
+    else begin
+      let tbase = Int64.of_int tmin in
+      match until with
+      | Some limit when Int64.compare tbase limit > 0 -> continue := false
+      | Some _ | None ->
+        t.clock <- tbase;
+        let horizon =
+          let h = Int64.add tbase t.lookahead in
+          if Int64.compare h tbase <= 0 then Int64.max_int else h
+        in
+        t.horizon <- horizon;
+        let before = processed t in
+        t.in_round <- true;
+        Fun.protect
+          ~finally:(fun () -> t.in_round <- false)
+          (fun () ->
+            match pool with
+            | None ->
+              (* The sequential reference for the parallel execution:
+                 same rounds, same horizons, same merge order, one
+                 domain. *)
+              Array.iter (process_shard t ~horizon ~until) t.shards
+            | Some pool ->
+              Par.round pool ~n:nshards ~f:(fun i ->
+                  process_shard t ~horizon ~until t.shards.(i)));
+        merge_outboxes t;
+        (match t.c_rounds with Some c -> Obs.Counter.inc c | None -> ());
+        (* [max_events] is a round-granular bound here: the budget is
+           re-checked at each barrier, never mid-round (a mid-round stop
+           would make the cut point scheduling-dependent). *)
+        budget := !budget - (processed t - before)
+    end
   done;
-  Obs.Gauge.set_int t.g_pending (Pqueue.length t.q);
+  t.clock <-
+    Array.fold_left
+      (fun acc s -> if Int64.compare s.sclock acc > 0 then s.sclock else acc)
+      t.clock t.shards
+
+let run ?pool ?until ?max_events t =
+  let wall0 = Sys.time () in
+  let sim0 = t.clock in
+  if Array.length t.shards = 1 then run_sequential ?until ?max_events t
+  else run_rounds ?pool ?until ?max_events t;
+  Obs.Gauge.set_int t.g_pending (pending t);
   let wall = Sys.time () -. wall0 in
   let sim_ns = Int64.to_float (Int64.sub t.clock sim0) in
   if wall > 0.0 && sim_ns > 0.0 then
     Obs.Gauge.set t.g_ratio (sim_ns /. (wall *. 1e9));
   check_invariants t
-
-let pending t = Pqueue.length t.q
-let processed t = t.processed
-let scheduled t = t.scheduled

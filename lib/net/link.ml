@@ -99,6 +99,7 @@ let transmission_time t bytes =
 
 let set_up t up = t.up <- up
 let is_up t = t.up
+let latency t = t.latency
 let set_perturb t f = t.perturb <- f
 let set_gate t f = t.gate <- f
 

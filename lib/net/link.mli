@@ -74,6 +74,11 @@ val set_up : t -> bool -> unit
 
 val is_up : t -> bool
 
+val latency : t -> int64
+(** Propagation delay in nanoseconds, as given to {!create}. The sharded
+    engine's conservative lookahead is bounded below by the smallest
+    latency of any cross-shard link. *)
+
 val set_perturb : t -> perturb option -> unit
 (** Installs (or clears) the fault-injection hook run at the start of
     propagation. The default is the identity ([[(p, 0L)]]). *)

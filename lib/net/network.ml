@@ -261,4 +261,5 @@ let create ?(policy = Routing.Shortest) engine topo =
   recompute_routes t;
   t
 
-let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
+let run ?pool ?until ?max_events t =
+  Engine.run ?pool ?until ?max_events t.engine

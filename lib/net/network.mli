@@ -105,5 +105,5 @@ val set_node_up : t -> Topology.node_id -> up:bool -> unit
 
 val node_up : t -> Topology.node_id -> bool
 
-val run : ?until:int64 -> ?max_events:int -> t -> unit
+val run : ?pool:Par.pool -> ?until:int64 -> ?max_events:int -> t -> unit
 (** Convenience alias for {!Engine.run} on the network's engine. *)

@@ -24,6 +24,11 @@ let create ?(capacity = 0) () =
 let is_empty q = q.len = 0
 let length q = q.len
 
+(* The PDES round scheduler polls every shard's minimum each round;
+   returning the native-int timestamp directly keeps that poll
+   allocation-free (no [Some (int64, _, _)] tuple per peek). *)
+let min_time q = if q.len = 0 then max_int else q.times.(0)
+
 let clear q =
   (* Keep the arrays (capacity is the point of reuse) but drop value
      references so cleared events can be collected; an empty [vals] is

@@ -28,6 +28,12 @@ val pop_min : 'a t -> (int64 * int * 'a) option
 (** [peek_min q] like {!pop_min} without removing. *)
 val peek_min : 'a t -> (int64 * int * 'a) option
 
+(** [min_time q] is the timestamp of the minimum entry as a native int,
+    or [max_int] when the heap is empty. Allocation-free, unlike
+    {!peek_min} — the sharded engine polls every shard's minimum once
+    per round to compute the next conservative window. *)
+val min_time : 'a t -> int
+
 (** [clear q] empties the heap, keeping its priority-array capacity for
     reuse across runs; value references are dropped. *)
 val clear : 'a t -> unit

@@ -139,6 +139,23 @@ let domain_of_addr t addr =
   | d :: _ -> Some d
   | [] -> None
 
+(* Shard assignment for the parallel event engine: nodes of one domain
+   stay together (intra-domain traffic is the chatty part), domains are
+   striped round-robin across shards. *)
+let shard_of t ~shards nid =
+  if shards < 1 then invalid_arg "Topology.shard_of: shards must be >= 1";
+  (node t nid).domain mod shards
+
+let cross_shard_lookahead t ~shards =
+  List.fold_left
+    (fun acc e ->
+      if shard_of t ~shards e.a = shard_of t ~shards e.b then acc
+      else
+        match acc with
+        | None -> Some e.latency
+        | Some l -> if Int64.compare e.latency l < 0 then Some e.latency else acc)
+    None t.edgs
+
 let in_domain t addr did =
   match domain_of_addr t addr with
   | Some d -> d.did = did

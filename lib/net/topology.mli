@@ -106,3 +106,16 @@ val domain_of_addr : t -> Ipaddr.t -> domain option
 (** The domain whose prefix contains [addr] (longest match first). *)
 
 val in_domain : t -> Ipaddr.t -> domain_id -> bool
+
+val shard_of : t -> shards:int -> node_id -> int
+(** Shard assignment for the parallel event engine ({!Engine}): a node
+    lands on [domain mod shards], so a domain's nodes — which exchange
+    most of the traffic — share a shard and only inter-domain links
+    cross shards. Raises [Invalid_argument] when [shards < 1] or the
+    node is unknown. *)
+
+val cross_shard_lookahead : t -> shards:int -> int64 option
+(** The smallest latency of any link whose endpoints land on different
+    shards under {!shard_of} — the largest safe conservative lookahead
+    for a sharded engine over this topology. [None] when no link
+    crosses shards (then any lookahead is safe). *)

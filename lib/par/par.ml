@@ -122,6 +122,15 @@ let map_chunks ?chunk t ~f xs =
     Array.concat (Array.to_list out)
   end
 
+(* One synchronization round: n indexed tasks, one task per chunk, full
+   barrier on return. The PDES engine drives its conservative windows
+   through this — each shard is one task, and the barrier is the
+   round boundary where cross-shard outboxes become safe to merge. *)
+let round t ~n ~f =
+  if n < 0 then invalid_arg "Par.round: n must be >= 0";
+  if n > 0 then
+    ignore (map_chunks ~chunk:1 t ~f (Array.init n (fun i -> i)) : unit array)
+
 let recommended () = Domain.recommended_domain_count ()
 
 let env_int name =

@@ -43,6 +43,17 @@ val map_chunks : ?chunk:int -> pool -> f:('a -> 'b) -> 'a array -> 'b array
     the whole batch is drained and the {e lowest-indexed} exception is
     re-raised — also deterministic. *)
 
+val round : pool -> n:int -> f:(int -> unit) -> unit
+(** [round pool ~n ~f] runs [f 0 .. f (n-1)] as one barrier round: each
+    index is its own task (no chunking), and the call returns only when
+    every task has completed. Exceptions follow the {!map_chunks} rule —
+    the batch is drained and the lowest-indexed exception re-raised.
+    This is the synchronization primitive under the sharded event
+    engine's conservative-lookahead windows ({!Net.Engine}): one round
+    advances every shard to the same safe horizon, and the barrier is
+    the happens-before edge that makes the coordinator's outbox merge
+    race-free. *)
+
 val shutdown : pool -> unit
 (** Stop and join the worker domains. Idempotent; the pool must not be
     used afterwards. *)

@@ -113,6 +113,36 @@ let test_ablations_shape () =
   Alcotest.(check bool) "offload: helper serves" true (r.a4.helper_rsa_ops > 0);
   Alcotest.(check bool) "offload: client completes" true r.a4.client_completed
 
+(* Golden digests: the deterministic E1/E2 observation tables and the
+   seeded E12 chaos table rendered and hashed, pinned byte-for-byte. Any
+   change to the crypto, the shim encoding, the datapath grant chain or
+   the fault timeline moves a digest and must be a conscious decision
+   (re-run with the printed value to re-pin). *)
+
+let digest_rows rows =
+  Crypto.Sha256.digest_hex
+    (String.concat "\n" (List.map (String.concat "|") rows))
+
+let check_golden name expect rows =
+  let got = digest_rows rows in
+  if got <> expect then
+    Alcotest.failf "%s: golden digest moved\n  expected %s\n  got      %s" name
+      expect got
+
+let test_golden_digests () =
+  let e1 = Experiments.E1_key_setup.golden_rows () in
+  let e2 = Experiments.E2_data_path.golden_rows () in
+  let e12 =
+    Experiments.E12_chaos.to_rows
+      (Experiments.E12_chaos.run ~seed:7 ~duration_s:3.0 ())
+  in
+  check_golden "E1 key-setup table"
+    "c64fbe6a9b0a80d8f7e06f35486ac99d54a710a692f7c6d30c156f41e2e88317" e1;
+  check_golden "E2 datapath table"
+    "6d3ba090178b72d973d831c4eb6f1c6feb6246495a961d966069a811ede4d506" e2;
+  check_golden "E12 chaos table (seed 7)"
+    "f4ec4917396d789f94dce5e74954a9f26eff47e3a735ce5f24c0e513ebfa813d" e12
+
 let () =
   Alcotest.run "experiments"
     [ ( "shapes",
@@ -125,5 +155,9 @@ let () =
           Alcotest.test_case "E10 detection" `Slow test_e10_shape;
           Alcotest.test_case "E11 selectivity" `Slow test_e11_shape;
           Alcotest.test_case "ablations" `Slow test_ablations_shape
+        ] );
+      ( "goldens",
+        [ Alcotest.test_case "E1/E2/E12 golden digests" `Quick
+            test_golden_digests
         ] )
     ]

@@ -173,23 +173,29 @@ let () =
   Experiments.E11_blunt_instruments.(
     print (run ~duration_s:(if quick then 4.0 else 8.0) ()));
   let chaos =
-    Experiments.E12_chaos.run ~duration_s:(if quick then 10.0 else 30.0) ()
+    Experiments.E12_chaos.run ~corrupt:0.001
+      ~duration_s:(if quick then 10.0 else 30.0)
+      ()
   in
   Experiments.E12_chaos.print chaos;
   Experiments.Ablations.(print (run ~min_time:mt ()));
   (* Recovery-latency quantiles as their own artifact: the chaos numbers
      are the robustness contract (how long a crash of the nearest
-     neutralizer is visible to a client), tracked release over release. *)
+     neutralizer is visible to a client), tracked release over release.
+     The proto block is the wire-robustness contract: frames corrupted
+     in flight vs frames the strict decoders dropped-and-counted. *)
   let q p = Int64.to_float (Experiments.E12_chaos.quantile p chaos.recoveries_ns) in
   let oc = open_out "BENCH_chaos.json" in
   Printf.fprintf oc
     "{\"seed\": %d, \"crashes\": %d, \"sent\": %d, \"delivered\": %d, \
      \"lost_until_rehome\": %d, \"recovery_ns\": {\"n\": %d, \"p50\": %.0f, \
-     \"p90\": %.0f, \"p95\": %.0f, \"p99\": %.0f, \"max\": %.0f}}\n"
+     \"p90\": %.0f, \"p95\": %.0f, \"p99\": %.0f, \"max\": %.0f}, \
+     \"proto\": {\"corrupt_injected\": %d, \"proto_rejected\": %d}}\n"
     chaos.seed chaos.crashes chaos.sent chaos.delivered
     chaos.lost_until_rehome
     (List.length chaos.recoveries_ns)
-    (q 0.50) (q 0.90) (q 0.95) (q 0.99) (q 1.0);
+    (q 0.50) (q 0.90) (q 0.95) (q 0.99) (q 1.0)
+    chaos.corrupt_injected chaos.proto_rejected;
   close_out oc;
   print_endline "\nchaos recovery quantiles written to BENCH_chaos.json";
   let overload = Experiments.E13_overload.run ~quick () in

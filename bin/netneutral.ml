@@ -350,7 +350,7 @@ let fig2 () =
 (* `netneutral chaos`: run a fault plan (from a file, or the default
    neutralizer-1 flap) against the Figure-1 world with a steady flow,
    and print the recovery histogram straight from the obs registry. *)
-let run_chaos quick seed plan_file =
+let run_chaos quick seed plan_file corrupt =
   let plan =
     match plan_file with
     | None -> Experiments.E12_chaos.default_plan
@@ -376,7 +376,7 @@ let run_chaos quick seed plan_file =
     (* A plan can be well-formed yet name nodes the Fig. 1 world does
        not have; E12 rejects it when scheduling. *)
     match
-      Experiments.E12_chaos.run ?seed ~plan
+      Experiments.E12_chaos.run ?seed ~plan ~corrupt
         ~duration_s:(if quick then 10.0 else 30.0)
         ()
     with
@@ -463,6 +463,55 @@ let run_pdes quick out =
     close_out oc;
     Printf.printf "pdes results written to %s\n" out
 
+(* `netneutral vectors`: regenerate or verify the golden wire vectors.
+   Verification is a byte compare against Core.Vectors.render — any
+   drift (a frame whose encoding moved) exits 1, which is how CI and
+   the @proto alias keep the wire format honest. *)
+let run_vectors write dir =
+  (match Core.Vectors.self_check () with
+   | Ok () -> ()
+   | Error msg ->
+     Printf.eprintf "netneutral: vector corpus is self-inconsistent: %s\n" msg;
+     exit 1);
+  let path = Filename.concat dir Core.Vectors.file_name in
+  let body = Core.Vectors.render () in
+  if write then begin
+    (match Sys.is_directory dir with
+     | true -> ()
+     | false | (exception Sys_error _) ->
+       Printf.eprintf "netneutral: %s is not a directory\n" dir;
+       exit 1);
+    let oc = open_out_bin path in
+    output_string oc body;
+    close_out oc;
+    Printf.printf "wrote %d vectors to %s\n"
+      (List.length (String.split_on_char '\n' body) - 1)
+      path
+  end
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error msg ->
+      Printf.eprintf "netneutral: cannot read %s: %s\n" path msg;
+      exit 1
+    | on_disk when on_disk = body -> Printf.printf "%s: ok\n" path
+    | on_disk ->
+      let disk_lines = String.split_on_char '\n' on_disk in
+      let fresh_lines = String.split_on_char '\n' body in
+      let rec first_drift i = function
+        | d :: ds, f :: fs ->
+          if d = f then first_drift (i + 1) (ds, fs)
+          else Printf.eprintf "  line %d:\n    on disk:  %s\n    expected: %s\n" i d f
+        | [], f :: _ -> Printf.eprintf "  line %d missing on disk: %s\n" i f
+        | d :: _, [] -> Printf.eprintf "  line %d extra on disk: %s\n" i d
+        | [], [] -> ()
+      in
+      Printf.eprintf "netneutral: %s drifted from the codec\n" path;
+      first_drift 1 (disk_lines, fresh_lines);
+      Printf.eprintf
+        "  (a deliberate wire change needs a version bump and `netneutral \
+         vectors --write`)\n";
+      exit 1
+
 let experiments =
   [ ("e1", "key-setup throughput (paper section 4)", run_e1);
     ("e2", "data-path vs vanilla forwarding throughput", run_e2);
@@ -542,12 +591,21 @@ let () =
       Arg.(
         value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
     in
+    let corrupt_opt =
+      let doc =
+        "Per-packet bit-flip probability on every link (e.g. 0.001). \
+         Mangled frames are dropped-and-counted by the strict shim \
+         decoders (core.proto.reject.*), never crashes."
+      in
+      Arg.(
+        value & opt float 0.0 & info [ "corrupt" ] ~docv:"PROB" ~doc)
+    in
     Cmd.v
       (Cmd.info "chaos"
          ~doc:
            "Seeded fault injection against the Fig. 1 world: run a fault \
             plan under a steady flow and print recovery-time statistics")
-      Term.(const run_chaos $ quick_flag $ seed_opt $ plan_opt)
+      Term.(const run_chaos $ quick_flag $ seed_opt $ plan_opt $ corrupt_opt)
   in
   let bench_cmd =
     let out_opt =
@@ -618,6 +676,26 @@ let () =
             capacity, admission control + retry budgets ON vs OFF")
       Term.(const run_overload $ quick_flag $ seed_opt $ chaos_flag)
   in
+  let vectors_cmd =
+    let write_flag =
+      let doc = "Regenerate the vector file instead of verifying it." in
+      Arg.(value & flag & info [ "write" ] ~doc)
+    in
+    let dir_opt =
+      let doc = "Directory holding the vector file." in
+      Arg.(
+        value
+        & opt string "test/vectors"
+        & info [ "dir" ] ~docv:"DIR" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "vectors"
+         ~doc:
+           "Verify (default) or regenerate ($(b,--write)) the golden shim \
+            wire vectors in test/vectors/; verification exits 1 on any \
+            byte drift from the codec")
+      Term.(const run_vectors $ write_flag $ dir_opt)
+  in
   (* `netneutral --metrics out.json` with no subcommand is the quickest
      way to get a measured run: silent workload, JSON out. *)
   let default =
@@ -642,4 +720,4 @@ let () =
        (Cmd.group ~default info
           (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: stats_cmd
            :: chaos_cmd :: overload_cmd :: bench_cmd :: par_cmd :: pdes_cmd
-           :: exp_cmds)))
+           :: vectors_cmd :: exp_cmds)))

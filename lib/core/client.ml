@@ -56,11 +56,13 @@ type t = {
   outstanding : (Net.Ipaddr.t, int) Hashtbl.t;
       (* data packets sent per neutralizer since anything was last heard
          through it; crossing blackhole_threshold triggers re-homing *)
+  gate : Version_gate.t;
   mutable receiver : peer:Net.Ipaddr.t -> string -> unit;
   ctrs : counters;
 }
 
 let counters t = t.ctrs
+let version_gate t = t.gate
 let keytab t = t.keytab
 let sessions t = t.sessions
 let host t = t.host
@@ -486,18 +488,35 @@ let handle_shim_decoded t (p : Net.Packet.t) shim =
      | Shim.Qos_address_request _ | Shim.Qos_address_response _
      | Shim.Offload _ -> ())
 
+(* A frame the strict decoder (or the downgrade gate) refused. These
+   were silently ignored before the protocol was versioned; now every
+   one is visible as core.proto.reject.client{reason} plus the client's
+   coarse error count. *)
+let proto_reject t label =
+  t.ctrs.errors <- t.ctrs.errors + 1;
+  Obs.Counter.inc
+    (Obs.Registry.counter (obs t)
+       ~labels:[ ("reason", label) ]
+       "core.proto.reject.client")
+
 let handle_shim t (p : Net.Packet.t) =
   Hashtbl.replace t.outstanding p.src 0;
-  match Option.map Shim.decode p.shim with
-  | None | Some None -> ()
-  | Some (Some shim) -> (
-    try handle_shim_decoded t p shim
-    with _ ->
-      (* A corrupted-but-decodable shim (fault injection flips wire bits)
-         must never unwind into the network layer: count it as a
-         malformed packet and move on. *)
-      t.ctrs.errors <- t.ctrs.errors + 1;
-      bump t "handler_exceptions")
+  match p.shim with
+  | None -> proto_reject t "missing"
+  | Some bytes -> (
+    match Shim.decode_versioned bytes with
+    | Error e -> proto_reject t (Shim.error_label e)
+    | Ok (version, shim) -> (
+      match Version_gate.admit t.gate ~peer:p.src ~version with
+      | Version_gate.Downgrade _ -> proto_reject t "downgrade"
+      | Version_gate.Admitted -> (
+        try handle_shim_decoded t p shim
+        with _ ->
+          (* A corrupted-but-decodable shim (fault injection flips wire
+             bits) must never unwind into the network layer: count it as
+             a malformed packet and move on. *)
+          t.ctrs.errors <- t.ctrs.errors + 1;
+          bump t "handler_exceptions")))
 
 let reset t =
   (* Crash amnesia: every table the protocol keeps in RAM is wiped, and
@@ -521,6 +540,10 @@ let reset t =
   Session.clear_table t.sessions;
   Multihome.clear_failures t.mh;
   Hashtbl.reset t.breakers;
+  (* Unlike the neutralizer's, the client's version gate IS wiped: reset
+     models a fresh host that also lost its grants, and a host that
+     forgets peers' versions only re-learns them upward. *)
+  Version_gate.clear t.gate;
   bump t "restarts"
 
 let create host ?keypair ?config ~seed () =
@@ -555,6 +578,7 @@ let create host ?keypair ?config ~seed () =
       pending_setups = Hashtbl.create 4;
       needs_refresh = Hashtbl.create 4;
       outstanding = Hashtbl.create 4;
+      gate = Version_gate.create ();
       receiver = (fun ~peer:_ _ -> ());
       ctrs =
         { dns_lookups = 0;

@@ -147,14 +147,23 @@ val send_plain :
 val reset : t -> unit
 (** Crash amnesia: wipe every in-RAM table — grants, sessions, DNS
     cache, pending setups (their retry timers are cancelled), failure
-    marks — as a host crash/restart would. The client object itself
-    survives (it models the reinstalled software); the next send
-    re-bootstraps and re-runs key setup from scratch. Bumps
-    [core.client.restarts]. *)
+    marks, the per-peer version floors of {!version_gate} — as a host
+    crash/restart would. The client object itself survives (it models
+    the reinstalled software); the next send re-bootstraps and re-runs
+    key setup from scratch. Bumps [core.client.restarts]. *)
 
 val counters : t -> counters
 val keytab : t -> Keytab.t
 val sessions : t -> Session.table
+
+val version_gate : t -> Version_gate.t
+(** Downgrade prevention for inbound shims: frames are strict-decoded
+    ({!Shim.decode_versioned}) and version-gated before any handler
+    runs; each refusal counts in [core.proto.reject.client{reason}] and
+    in [counters.errors]. Wiped by {!reset} (a fresh host re-learns
+    peer versions upward), unlike the neutralizer's gate which survives
+    crashes. *)
+
 val host : t -> Net.Host.t
 val rng : t -> int -> string
 val multihome : t -> Multihome.t

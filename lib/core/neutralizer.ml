@@ -38,6 +38,7 @@ type t = {
   config : config;
   ctrs : counters;
   qos : (Net.Ipaddr.t, qos_entry) Hashtbl.t;
+  gate : Version_gate.t;
   mutable customers : Net.Ipaddr.Prefix.t list;
       (* customer attachments outside the domain prefix (multi-homing) *)
   mutable alive : bool;
@@ -62,6 +63,8 @@ let add_customer t prefix = t.customers <- prefix :: t.customers
 let qos_mappings t =
   Hashtbl.fold (fun dyn e acc -> (dyn, e.customer) :: acc) t.qos []
 
+let version_gate t = t.gate
+
 let obs t = Net.Engine.obs (Net.Network.engine t.net)
 
 (* Mirror the counters record into obs metric families
@@ -82,6 +85,36 @@ let reject t reason =
   | "bad-tag" -> t.ctrs.rejected_bad_tag <- t.ctrs.rejected_bad_tag + 1
   | "unknown-epoch" -> t.ctrs.rejected_epoch <- t.ctrs.rejected_epoch + 1
   | _ -> ()
+
+(* Wire-level reject: a frame the strict decoder refused (or the version
+   gate refused as a downgrade). Counted twice on purpose — once in the
+   box's coarse rejected family (existing dashboards keep working) and
+   once in the typed core.proto.reject.neutralizer family keyed by the
+   decoder's error label, which is what the chaos run and the fuzz sweep
+   assert against. *)
+let proto_reject t label =
+  bump t ~labels:[ ("reason", label) ] "core.proto.reject.neutralizer";
+  reject t (if label = "downgrade" then "downgrade" else "malformed")
+
+(* Decode + downgrade-gate a shim frame from [src]. [Error label] has
+   already been counted. *)
+let decode_gated t ~src shim =
+  match shim with
+  | None ->
+    proto_reject t "missing";
+    Error "missing"
+  | Some bytes ->
+    (match Shim.decode_versioned bytes with
+     | Error e ->
+       let label = Shim.error_label e in
+       proto_reject t label;
+       Error label
+     | Ok (version, msg) ->
+       (match Version_gate.admit t.gate ~peer:src ~version with
+        | Version_gate.Downgrade _ ->
+          proto_reject t "downgrade";
+          Error "downgrade"
+        | Version_gate.Admitted -> Ok msg))
 
 let send t p = Net.Network.send t.net ~from:t.node.Net.Topology.nid p
 
@@ -152,10 +185,15 @@ let setup_batch ?pool ?chunk t (ps : Net.Packet.t array) =
   let decoded =
     Array.map
       (fun (p : Net.Packet.t) ->
-        match Option.map Shim.decode p.shim with
-        | Some (Some (Shim.Key_setup_request { pubkey; _ })) ->
+        match decode_gated t ~src:p.src p.shim with
+        | Error _ -> None
+        | Ok (Shim.Key_setup_request { pubkey; _ }) ->
           Some { Setup_batch.src = p.src; pubkey }
-        | _ -> None)
+        | Ok _ ->
+          (* Well-formed, just not a setup request: a semantic reject,
+             not a wire-level one. *)
+          reject t "malformed";
+          None)
       ps
   in
   (* Compact the well-formed requests (their position in the compacted
@@ -180,7 +218,7 @@ let setup_batch ?pool ?chunk t (ps : Net.Packet.t array) =
   Array.iteri
     (fun i (p : Net.Packet.t) ->
       match by_slot.(i) with
-      | None -> reject t "malformed"
+      | None -> () (* already counted when decoding *)
       | Some None -> reject t "bad-pubkey"
       | Some (Some shim) ->
         Net.Network.service ~kind:"key_setup" t.net t.node.Net.Topology.nid
@@ -304,9 +342,9 @@ let dispatch t (p : Net.Packet.t) =
      | Net.Packet.Udp | Net.Packet.Tcp | Net.Packet.Icmp ->
        reject t "non-shim"
      | Net.Packet.Shim ->
-       (match Option.map Shim.decode p.shim with
-        | None | Some None -> reject t "malformed"
-        | Some (Some shim) ->
+       (match decode_gated t ~src:p.src p.shim with
+        | Error _ -> ()
+        | Ok shim ->
           (match shim with
            | Shim.Key_setup_request { pubkey; deadline } ->
              handle_key_setup t p pubkey ~deadline
@@ -343,7 +381,10 @@ let crash t =
     (* The QoS/NAT table is the box's only per-customer RAM state (the
        grant state is derived from the master key, §3.2 "the neutralizer
        does not keep any state for any source") — a crash loses it, and
-       customers must re-request dynamic addresses. *)
+       customers must re-request dynamic addresses. The version gate is
+       deliberately NOT wiped: like the master key it is security
+       posture, not flow state, and forgetting it would let an attacker
+       crash the box to win a downgrade. *)
     Hashtbl.reset t.qos;
     bump t "core.neutralizer.crashes"
   end
@@ -428,6 +469,7 @@ let attach net node config =
           shed = 0
         };
       qos = Hashtbl.create 16;
+      gate = Version_gate.create ();
       customers = [];
       alive = true;
       admission = None

@@ -79,6 +79,17 @@ val qos_mappings : t -> (Net.Ipaddr.t * Net.Ipaddr.t) list
     assert the dynamic address is flow-identifiable but not
     customer-identifiable to outsiders. *)
 
+val version_gate : t -> Version_gate.t
+(** The box's downgrade-prevention state: highest wire version seen per
+    peer. Every inbound shim frame is strict-decoded
+    ({!Shim.decode_versioned}) and gated before dispatch; each refusal
+    is counted in [core.proto.reject.neutralizer{reason}] (decoder
+    {!Shim.error_label}s plus ["missing"] and ["downgrade"]) as well as
+    the coarse [core.neutralizer.rejected] family. The gate survives
+    {!crash}/{!restart} — it is security posture, like the master key,
+    not flow state, so an attacker cannot crash the box to win a
+    downgrade. *)
+
 val enable_admission : t -> Overload.Admission.t -> unit
 (** Turn on graceful degradation: installs an admission gate
     ({!Net.Link.set_gate}) on every ingress link of the box's node and

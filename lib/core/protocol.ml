@@ -1,6 +1,9 @@
 let nonce_len = 8
 let key_len = 16
 let tag_len = 4
+let wire_version = 2
+let wire_version_legacy = 1
+let max_blob_len = 4096
 let onetime_rsa_bits = 512
 let e2e_rsa_bits = 1024
 let rsa_public_exponent = 3

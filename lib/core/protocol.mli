@@ -11,6 +11,25 @@ val key_len : int
 val tag_len : int
 (** 4-byte integrity tag binding (nonce, blinded address). *)
 
+val wire_version : int
+(** 2 — the current shim wire version, carried in the fourth header byte
+    of every frame. v2 is the strict format: exact frame lengths,
+    reserved bytes pinned to zero, bounds-checked variable-length fields.
+    Encoders always emit v2. *)
+
+val wire_version_legacy : int
+(** 1 — the pre-versioning frame format. A v1 frame carries [0] in the
+    version slot (the byte was "reserved, write zero" before versioning
+    existed). The decoder still accepts v1 so captures and not-yet-
+    upgraded peers parse, but {!Version_gate} refuses v1 from any peer
+    that has ever spoken v2 — downgrade is never silent. *)
+
+val max_blob_len : int
+(** 4096 — upper bound on any variable-length field (one-time public
+    keys, RSA ciphertexts). A length field above this is rejected as
+    [Oversized] before any allocation: a mangled or hostile length can
+    not make the decoder trust it. *)
+
 val onetime_rsa_bits : int
 (** 512 — the paper's short one-time key: "a 512-bit RSA key is only as
     secure as a 56-bit symmetric key", acceptable because it is used once

@@ -33,10 +33,12 @@ type t = {
   pending_reverse :
     (string -> unit) Queue.t (* continuations waiting for a grant *);
   pending_qos : ((Net.Ipaddr.t, string) result -> unit) Queue.t;
+  gate : Version_gate.t;
   ctrs : counters;
 }
 
 let counters t = t.ctrs
+let version_gate t = t.gate
 let sessions t = t.sessions
 let host t = t.host
 let rng t n = Crypto.Drbg.generate t.drbg n
@@ -203,15 +205,31 @@ let handle_shim_decoded t (p : Net.Packet.t) shim =
      | Shim.Return _ | Shim.Reverse_key_request _
      | Shim.Qos_address_request _ | Shim.Stale_grant _ -> ())
 
+(* A frame the strict decoder or the downgrade gate refused; previously
+   these disappeared without a trace. [undecryptable] keeps its
+   session-layer meaning and is not touched here. *)
+let proto_reject t label =
+  Obs.Counter.inc
+    (Obs.Registry.counter
+       (Net.Engine.obs (engine t))
+       ~labels:[ ("reason", label) ]
+       "core.proto.reject.server")
+
 let handle_shim t (p : Net.Packet.t) =
-  match Option.map Shim.decode p.shim with
-  | None | Some None -> ()
-  | Some (Some shim) -> (
-    try handle_shim_decoded t p shim
-    with _ ->
-      (* Bit-flipped-on-the-wire input must end here, not in the
-         network layer. *)
-      t.ctrs.undecryptable <- t.ctrs.undecryptable + 1)
+  match p.shim with
+  | None -> proto_reject t "missing"
+  | Some bytes -> (
+    match Shim.decode_versioned bytes with
+    | Error e -> proto_reject t (Shim.error_label e)
+    | Ok (version, shim) -> (
+      match Version_gate.admit t.gate ~peer:p.src ~version with
+      | Version_gate.Downgrade _ -> proto_reject t "downgrade"
+      | Version_gate.Admitted -> (
+        try handle_shim_decoded t p shim
+        with _ ->
+          (* Bit-flipped-on-the-wire input must end here, not in the
+             network layer. *)
+          t.ctrs.undecryptable <- t.ctrs.undecryptable + 1)))
 
 let gc t ~idle =
   let stale = Session.expire t.sessions ~now:(now t) ~idle in
@@ -233,6 +251,7 @@ let create host ~private_key ~neutralizer ~seed () =
       offload_enabled = false;
       pending_reverse = Queue.create ();
       pending_qos = Queue.create ();
+      gate = Version_gate.create ();
       ctrs =
         { requests = 0;
           replies = 0;

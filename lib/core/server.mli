@@ -79,3 +79,9 @@ val enable_gc : t -> ?every:int64 -> ?idle:int64 -> unit -> (unit -> unit)
 val counters : t -> counters
 val sessions : t -> Session.table
 val host : t -> Net.Host.t
+
+val version_gate : t -> Version_gate.t
+(** Downgrade prevention for inbound shims: frames are strict-decoded
+    and version-gated before any handler runs; each refusal counts in
+    [core.proto.reject.server{reason}]. [counters.undecryptable] keeps
+    its session-layer meaning (ciphertext that would not open). *)

@@ -28,6 +28,45 @@ type t =
     }
   | Stale_grant of { current_epoch : int }
 
+type error =
+  | Truncated of { need : int; got : int }
+  | Bad_version of { got : int }
+  | Unknown_kind of { kind : int }
+  | Bad_length of { field : string; expected : int; got : int }
+  | Oversized of { field : string; limit : int; got : int }
+  | Negative of { field : string }
+  | Reserved_nonzero of { field : string; value : int }
+  | Trailing_bytes of { extra : int }
+
+let error_label = function
+  | Truncated _ -> "truncated"
+  | Bad_version _ -> "bad-version"
+  | Unknown_kind _ -> "unknown-kind"
+  | Bad_length _ -> "bad-length"
+  | Oversized _ -> "oversized"
+  | Negative _ -> "negative"
+  | Reserved_nonzero _ -> "reserved-nonzero"
+  | Trailing_bytes _ -> "trailing-bytes"
+
+let error_labels =
+  [ "truncated"; "bad-version"; "unknown-kind"; "bad-length"; "oversized";
+    "negative"; "reserved-nonzero"; "trailing-bytes" ]
+
+let pp_error fmt = function
+  | Truncated { need; got } ->
+    Format.fprintf fmt "truncated (need %d bytes, got %d)" need got
+  | Bad_version { got } -> Format.fprintf fmt "bad version byte %d" got
+  | Unknown_kind { kind } -> Format.fprintf fmt "unknown kind %d" kind
+  | Bad_length { field; expected; got } ->
+    Format.fprintf fmt "bad %s length (expected %d, got %d)" field expected got
+  | Oversized { field; limit; got } ->
+    Format.fprintf fmt "oversized %s (limit %d, got %d)" field limit got
+  | Negative { field } -> Format.fprintf fmt "negative %s" field
+  | Reserved_nonzero { field; value } ->
+    Format.fprintf fmt "reserved %s byte nonzero (%d)" field value
+  | Trailing_bytes { extra } ->
+    Format.fprintf fmt "%d trailing bytes" extra
+
 let data_shim_len = 20
 let put_u32 = Crypto.Bytes_util.put_u32
 let get_u32 = Crypto.Bytes_util.get_u32
@@ -40,18 +79,6 @@ let get_u64 s off =
   Int64.logor
     (Int64.shift_left (Int64.of_int (get_u32 s off)) 32)
     (Int64.of_int (get_u32 s (off + 4)))
-
-let put_blob buf s =
-  put_u32 buf (String.length s);
-  Buffer.add_string buf s
-
-let get_blob s off =
-  if off + 4 > String.length s then None
-  else begin
-    let len = get_u32 s off in
-    if len < 0 || off + 4 + len > String.length s then None
-    else Some (String.sub s (off + 4) len, off + 4 + len)
-  end
 
 let kind_tag = function
   | Key_setup_request _ -> 0
@@ -68,6 +95,23 @@ let kind_tag = function
 let flag_key_request = 0x01
 let flag_from_customer = 0x02
 let flag_refresh = 0x04
+let data_flags_mask = flag_key_request lor flag_from_customer lor flag_refresh
+
+(* Extension length of a refresh-carrying data shim: epoch byte, nonce,
+   key. *)
+let refresh_ext_len = 1 + Protocol.nonce_len + Protocol.key_len
+
+(* ---- Encoding ----
+
+   Every frame starts with the same 4-byte header:
+
+     [0] kind   [1] flags   [2] epoch   [3] version
+
+   Kinds without flags or an epoch write zero there; the decoder rejects
+   anything else ([Reserved_nonzero]), so those bytes can never become a
+   covert side channel or an ambiguous extension point. The version slot
+   carries {!Protocol.wire_version}; legacy (pre-versioning) frames have
+   0 there and decode as v1. *)
 
 let check_lengths d =
   String.length d.nonce = Protocol.nonce_len
@@ -80,172 +124,274 @@ let check_lengths d =
     String.length r.r_nonce = Protocol.nonce_len
     && String.length r.r_key = Protocol.key_len
 
+let check_epoch ~what epoch =
+  if epoch < 0 || epoch > 0xff then
+    invalid_arg (Printf.sprintf "Shim.encode: %s out of range" what)
+
+let check_nonce ~what nonce =
+  if String.length nonce <> Protocol.nonce_len then
+    invalid_arg (Printf.sprintf "Shim.encode: bad %s length" what)
+
+let check_key ~what key =
+  if String.length key <> Protocol.key_len then
+    invalid_arg (Printf.sprintf "Shim.encode: bad %s length" what)
+
+let check_blob ~what blob =
+  if String.length blob > Protocol.max_blob_len then
+    invalid_arg (Printf.sprintf "Shim.encode: %s exceeds max_blob_len" what)
+
+let check_time ~what v =
+  if Int64.compare v 0L < 0 then
+    invalid_arg (Printf.sprintf "Shim.encode: negative %s" what)
+
+let version_byte = Char.chr Protocol.wire_version
+
+(* flags = 0, epoch = 0, version. *)
+let add_plain_header buf = Buffer.add_string buf "\x00\x00";
+  Buffer.add_char buf version_byte
+
+(* flags = 0, epoch as given, version. *)
+let add_epoch_header buf epoch =
+  Buffer.add_char buf '\x00';
+  Buffer.add_char buf (Char.chr epoch);
+  Buffer.add_char buf version_byte
+
+let put_blob buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
 let encode t =
   let buf = Buffer.create 24 in
   Buffer.add_char buf (Char.chr (kind_tag t));
   (match t with
    | Key_setup_request { pubkey; deadline } ->
-     Buffer.add_string buf "\x00\x00\x00";
+     check_blob ~what:"pubkey" pubkey;
+     check_time ~what:"deadline" deadline;
+     add_plain_header buf;
      put_u64 buf deadline;
      put_blob buf pubkey
    | Key_setup_response { rsa_ct } ->
-     Buffer.add_string buf "\x00\x00\x00";
+     check_blob ~what:"rsa_ct" rsa_ct;
+     add_plain_header buf;
      put_blob buf rsa_ct
    | Data d ->
      if not (check_lengths d) then invalid_arg "Shim.encode: bad data field sizes";
+     check_epoch ~what:"epoch" d.epoch;
+     (match d.refresh with
+      | None -> ()
+      | Some r -> check_epoch ~what:"refresh epoch" r.r_epoch);
      let flags =
        (if d.key_request then flag_key_request else 0)
        lor (if d.from_customer then flag_from_customer else 0)
        lor if d.refresh <> None then flag_refresh else 0
      in
      Buffer.add_char buf (Char.chr flags);
-     Buffer.add_char buf (Char.chr (d.epoch land 0xff));
-     Buffer.add_char buf '\x00';
+     Buffer.add_char buf (Char.chr d.epoch);
+     Buffer.add_char buf version_byte;
      Buffer.add_string buf d.nonce;
      Buffer.add_string buf d.enc_addr;
      Buffer.add_string buf d.tag;
      (match d.refresh with
       | None -> ()
       | Some r ->
-        Buffer.add_char buf (Char.chr (r.r_epoch land 0xff));
+        Buffer.add_char buf (Char.chr r.r_epoch);
         Buffer.add_string buf r.r_nonce;
         Buffer.add_string buf r.r_key)
    | Return { epoch; nonce; initiator } ->
-     Buffer.add_char buf '\x00';
-     Buffer.add_char buf (Char.chr (epoch land 0xff));
-     Buffer.add_char buf '\x00';
+     check_epoch ~what:"epoch" epoch;
+     check_nonce ~what:"nonce" nonce;
+     add_epoch_header buf epoch;
      Buffer.add_string buf nonce;
      Buffer.add_string buf (Net.Ipaddr.to_octets initiator)
    | Reverse_key_request { outside } ->
-     Buffer.add_string buf "\x00\x00\x00";
+     add_plain_header buf;
      Buffer.add_string buf (Net.Ipaddr.to_octets outside)
    | Reverse_key_response { epoch; nonce; key } ->
-     Buffer.add_char buf '\x00';
-     Buffer.add_char buf (Char.chr (epoch land 0xff));
-     Buffer.add_char buf '\x00';
+     check_epoch ~what:"epoch" epoch;
+     check_nonce ~what:"nonce" nonce;
+     check_key ~what:"key" key;
+     add_epoch_header buf epoch;
      Buffer.add_string buf nonce;
      Buffer.add_string buf key
    | Qos_address_request { lease } ->
-     Buffer.add_string buf "\x00\x00\x00";
+     check_time ~what:"lease" lease;
+     add_plain_header buf;
      put_u64 buf lease
    | Qos_address_response { addr; lease } ->
-     Buffer.add_string buf "\x00\x00\x00";
+     check_time ~what:"lease" lease;
+     add_plain_header buf;
      Buffer.add_string buf (Net.Ipaddr.to_octets addr);
      put_u64 buf lease
    | Offload { pubkey; epoch; nonce; key; requester } ->
-     Buffer.add_char buf '\x00';
-     Buffer.add_char buf (Char.chr (epoch land 0xff));
-     Buffer.add_char buf '\x00';
+     check_epoch ~what:"epoch" epoch;
+     check_nonce ~what:"nonce" nonce;
+     check_key ~what:"key" key;
+     check_blob ~what:"pubkey" pubkey;
+     add_epoch_header buf epoch;
      Buffer.add_string buf nonce;
      Buffer.add_string buf key;
      Buffer.add_string buf (Net.Ipaddr.to_octets requester);
      put_blob buf pubkey
    | Stale_grant { current_epoch } ->
-     Buffer.add_char buf '\x00';
-     Buffer.add_char buf (Char.chr (current_epoch land 0xff));
-     Buffer.add_char buf '\x00');
+     check_epoch ~what:"epoch" current_epoch;
+     add_epoch_header buf current_epoch);
   Buffer.contents buf
 
-let decode s =
+(* ---- Strict decoding ----
+
+   The decoder assumes the bytes are hostile: a middlebox may have
+   truncated, bit-flipped or hand-crafted them (the Wehe measurements
+   show in-the-wild middleboxes actively mangling flows). Every frame is
+   checked to its exact expected length — no trailing bytes, no reserved
+   byte repurposed, no length field trusted beyond {!Protocol.max_blob_len}
+   — and every failure is a typed [error], never an exception and never
+   a silently-accepted guess. *)
+
+let ( let* ) = Result.bind
+
+let exact ~len expected =
+  if len < expected then Error (Truncated { need = expected; got = len })
+  else if len > expected then Error (Trailing_bytes { extra = len - expected })
+  else Ok ()
+
+let at_least ~len need =
+  if len < need then Error (Truncated { need; got = len }) else Ok ()
+
+let zero ~field ~value =
+  if value <> 0 then Error (Reserved_nonzero { field; value }) else Ok ()
+
+let non_negative ~field v =
+  if Int64.compare v 0L < 0 then Error (Negative { field }) else Ok ()
+
+(* Variable-length field at [off]: a u32 length prefix, bounded by
+   [Protocol.max_blob_len], then the bytes; the frame must end exactly
+   where the blob does. *)
+let blob ~field s off =
   let len = String.length s in
-  if len < 4 then None
-  else begin
-    let kind = Char.code s.[0] in
-    let flags = Char.code s.[1] in
-    let epoch = Char.code s.[2] in
-    let nlen = Protocol.nonce_len in
+  let* () = at_least ~len (off + 4) in
+  let blen = get_u32 s off in
+  if blen < 0 then Error (Negative { field })
+  else if blen > Protocol.max_blob_len then
+    Error (Oversized { field; limit = Protocol.max_blob_len; got = blen })
+  else
+    let* () = exact ~len (off + 4 + blen) in
+    Ok (String.sub s (off + 4) blen)
+
+let decode_versioned s =
+  let len = String.length s in
+  let* () = at_least ~len 4 in
+  let kind = Char.code s.[0] in
+  let flags = Char.code s.[1] in
+  let epoch = Char.code s.[2] in
+  let vbyte = Char.code s.[3] in
+  let* version =
+    (* Legacy frames predate the version field and carry 0 in what was a
+       reserved-zero byte; they decode as v1. Anything that is neither
+       the legacy marker nor the current version fails closed. *)
+    if vbyte = 0 then Ok Protocol.wire_version_legacy
+    else if vbyte = Protocol.wire_version then Ok Protocol.wire_version
+    else Error (Bad_version { got = vbyte })
+  in
+  let nlen = Protocol.nonce_len in
+  let klen = Protocol.key_len in
+  let* msg =
     match kind with
     | 0 ->
-      if len < 12 then None
-      else
-        (match get_blob s 12 with
-         | Some (pubkey, _) ->
-           Some (Key_setup_request { pubkey; deadline = get_u64 s 4 })
-         | None -> None)
+      let* () = zero ~field:"flags" ~value:flags in
+      let* () = zero ~field:"epoch" ~value:epoch in
+      let* () = at_least ~len 12 in
+      let deadline = get_u64 s 4 in
+      let* () = non_negative ~field:"deadline" deadline in
+      let* pubkey = blob ~field:"pubkey" s 12 in
+      Ok (Key_setup_request { pubkey; deadline })
     | 1 ->
-      (match get_blob s 4 with
-       | Some (rsa_ct, _) -> Some (Key_setup_response { rsa_ct })
-       | None -> None)
+      let* () = zero ~field:"flags" ~value:flags in
+      let* () = zero ~field:"epoch" ~value:epoch in
+      let* rsa_ct = blob ~field:"rsa_ct" s 4 in
+      Ok (Key_setup_response { rsa_ct })
     | 2 ->
-      if len < data_shim_len then None
-      else begin
-        let nonce = String.sub s 4 nlen in
-        let enc_addr = String.sub s (4 + nlen) 4 in
-        let tag = String.sub s (8 + nlen) Protocol.tag_len in
-        let key_request = flags land flag_key_request <> 0 in
-        let from_customer = flags land flag_from_customer <> 0 in
-        if flags land flag_refresh <> 0 then begin
-          let ext = 1 + nlen + Protocol.key_len in
-          if len < data_shim_len + ext then None
-          else begin
-            let off = data_shim_len in
-            let r_epoch = Char.code s.[off] in
-            let r_nonce = String.sub s (off + 1) nlen in
-            let r_key = String.sub s (off + 1 + nlen) Protocol.key_len in
-            Some
-              (Data
-                 { epoch;
-                   nonce;
-                   enc_addr;
-                   tag;
-                   key_request;
-                   from_customer;
-                   refresh = Some { r_epoch; r_nonce; r_key }
-                 })
-          end
-        end
-        else
+      let* () =
+        zero ~field:"flags" ~value:(flags land lnot data_flags_mask)
+      in
+      let with_refresh = flags land flag_refresh <> 0 in
+      let* () =
+        exact ~len
+          (if with_refresh then data_shim_len + refresh_ext_len
+           else data_shim_len)
+      in
+      let nonce = String.sub s 4 nlen in
+      let enc_addr = String.sub s (4 + nlen) 4 in
+      let tag = String.sub s (8 + nlen) Protocol.tag_len in
+      let refresh =
+        if with_refresh then begin
+          let off = data_shim_len in
           Some
-            (Data
-               { epoch;
-                 nonce;
-                 enc_addr;
-                 tag;
-                 key_request;
-                 from_customer;
-                 refresh = None
-               })
-      end
+            { r_epoch = Char.code s.[off];
+              r_nonce = String.sub s (off + 1) nlen;
+              r_key = String.sub s (off + 1 + nlen) klen
+            }
+        end
+        else None
+      in
+      Ok
+        (Data
+           { epoch;
+             nonce;
+             enc_addr;
+             tag;
+             key_request = flags land flag_key_request <> 0;
+             from_customer = flags land flag_from_customer <> 0;
+             refresh
+           })
     | 3 ->
-      if len < 4 + nlen + 4 then None
-      else begin
-        let nonce = String.sub s 4 nlen in
-        let initiator = Net.Ipaddr.of_octets (String.sub s (4 + nlen) 4) in
-        Some (Return { epoch; nonce; initiator })
-      end
+      let* () = zero ~field:"flags" ~value:flags in
+      let* () = exact ~len (4 + nlen + 4) in
+      let nonce = String.sub s 4 nlen in
+      let initiator = Net.Ipaddr.of_octets (String.sub s (4 + nlen) 4) in
+      Ok (Return { epoch; nonce; initiator })
     | 4 ->
-      if len < 8 then None
-      else Some (Reverse_key_request { outside = Net.Ipaddr.of_octets (String.sub s 4 4) })
+      let* () = zero ~field:"flags" ~value:flags in
+      let* () = zero ~field:"epoch" ~value:epoch in
+      let* () = exact ~len 8 in
+      Ok (Reverse_key_request { outside = Net.Ipaddr.of_octets (String.sub s 4 4) })
     | 5 ->
-      if len < 4 + nlen + Protocol.key_len then None
-      else begin
-        let nonce = String.sub s 4 nlen in
-        let key = String.sub s (4 + nlen) Protocol.key_len in
-        Some (Reverse_key_response { epoch; nonce; key })
-      end
+      let* () = zero ~field:"flags" ~value:flags in
+      let* () = exact ~len (4 + nlen + klen) in
+      let nonce = String.sub s 4 nlen in
+      let key = String.sub s (4 + nlen) klen in
+      Ok (Reverse_key_response { epoch; nonce; key })
     | 6 ->
-      if len < 12 then None else Some (Qos_address_request { lease = get_u64 s 4 })
+      let* () = zero ~field:"flags" ~value:flags in
+      let* () = zero ~field:"epoch" ~value:epoch in
+      let* () = exact ~len 12 in
+      let lease = get_u64 s 4 in
+      let* () = non_negative ~field:"lease" lease in
+      Ok (Qos_address_request { lease })
     | 7 ->
-      if len < 16 then None
-      else
-        Some
-          (Qos_address_response
-             { addr = Net.Ipaddr.of_octets (String.sub s 4 4);
-               lease = get_u64 s 8
-             })
+      let* () = zero ~field:"flags" ~value:flags in
+      let* () = zero ~field:"epoch" ~value:epoch in
+      let* () = exact ~len 16 in
+      let lease = get_u64 s 8 in
+      let* () = non_negative ~field:"lease" lease in
+      Ok
+        (Qos_address_response
+           { addr = Net.Ipaddr.of_octets (String.sub s 4 4); lease })
     | 8 ->
-      if len < 4 + nlen + Protocol.key_len + 4 + 4 then None
-      else begin
-        let nonce = String.sub s 4 nlen in
-        let key = String.sub s (4 + nlen) Protocol.key_len in
-        let requester =
-          Net.Ipaddr.of_octets (String.sub s (4 + nlen + Protocol.key_len) 4)
-        in
-        match get_blob s (4 + nlen + Protocol.key_len + 4) with
-        | Some (pubkey, _) ->
-          Some (Offload { pubkey; epoch; nonce; key; requester })
-        | None -> None
-      end
-    | 9 -> Some (Stale_grant { current_epoch = epoch })
-    | _ -> None
-  end
+      let* () = zero ~field:"flags" ~value:flags in
+      let* () = at_least ~len (4 + nlen + klen + 4 + 4) in
+      let nonce = String.sub s 4 nlen in
+      let key = String.sub s (4 + nlen) klen in
+      let requester = Net.Ipaddr.of_octets (String.sub s (4 + nlen + klen) 4) in
+      let* pubkey = blob ~field:"pubkey" s (4 + nlen + klen + 4) in
+      Ok (Offload { pubkey; epoch; nonce; key; requester })
+    | 9 ->
+      let* () = zero ~field:"flags" ~value:flags in
+      let* () = exact ~len 4 in
+      Ok (Stale_grant { current_epoch = epoch })
+    | kind -> Error (Unknown_kind { kind })
+  in
+  Ok (version, msg)
+
+let decode_strict s = Result.map snd (decode_versioned s)
+
+let decode s = Result.to_option (decode_strict s)

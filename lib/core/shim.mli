@@ -5,10 +5,19 @@
     an upper layer" (§2). The IP protocol field is 253
     ({!Net.Packet.Shim}).
 
-    The data shim is 20 bytes — kind, flags, epoch, reserved, an 8-byte
+    The data shim is 20 bytes — kind, flags, epoch, version, an 8-byte
     nonce, the 4-byte blinded address and a 4-byte tag — which together
     with 20 (IP) + 8 (transport) + 64 (payload) reproduces the paper's
-    112-byte neutralized packet. *)
+    112-byte neutralized packet.
+
+    Every frame carries {!Protocol.wire_version} in the fourth header
+    byte and is decoded {e fail-closed}: exact expected length, reserved
+    bytes pinned to zero, variable-length fields bounded by
+    {!Protocol.max_blob_len}. The decoder assumes the bytes are hostile
+    (middleboxes in the wild mangle flows); every failure is a typed
+    {!error}, never an exception and never a silently-accepted guess.
+    Byte layouts are frozen by the golden vectors in [test/vectors/]
+    (see {!Vectors} and [netneutral vectors]). *)
 
 type refresh = {
   r_epoch : int;
@@ -66,8 +75,59 @@ type t =
           notification carries no secrets and is advisory — a client
           verifies it against its own grant before acting. *)
 
+(** Typed decode failures. The decoder never raises and never guesses:
+    every malformed, truncated, oversized or unversioned frame maps to
+    exactly one of these, and every handler that drops a frame counts it
+    under [core.proto.reject.*] labeled by {!error_label}. *)
+type error =
+  | Truncated of { need : int; got : int }
+      (** fewer bytes than the fixed part of the frame requires *)
+  | Bad_version of { got : int }
+      (** version byte is neither 0 (legacy v1) nor
+          {!Protocol.wire_version} *)
+  | Unknown_kind of { kind : int }
+  | Bad_length of { field : string; expected : int; got : int }
+  | Oversized of { field : string; limit : int; got : int }
+      (** a length field claims more than {!Protocol.max_blob_len};
+          rejected before any allocation *)
+  | Negative of { field : string }
+      (** a u64 time field (deadline/lease) with the sign bit set *)
+  | Reserved_nonzero of { field : string; value : int }
+      (** a must-be-zero header byte (or must-be-zero flag bits) set *)
+  | Trailing_bytes of { extra : int }
+      (** bytes past the exact end of the frame *)
+
+val error_label : error -> string
+(** Stable kebab-case label for obs counters and logs, e.g.
+    ["truncated"], ["bad-version"], ["reserved-nonzero"]. *)
+
+val error_labels : string list
+(** Every label {!error_label} can produce, for exhaustive counter
+    pre-registration. (["downgrade"] is a gate reject, not a decode
+    error — see {!Version_gate}.) *)
+
+val pp_error : Format.formatter -> error -> unit
+
 val encode : t -> string
+(** Always emits {!Protocol.wire_version}. Raises [Invalid_argument] on
+    out-of-range fields (epoch outside 0..255, wrong nonce/key lengths,
+    negative deadline/lease, blobs over {!Protocol.max_blob_len}) — the
+    encoder refuses to produce a frame its own decoder would reject. *)
+
+val decode_versioned : string -> (int * t, error) result
+(** Strict decode returning the wire version alongside the message —
+    {!Protocol.wire_version_legacy} for frames with a zero version byte
+    (pre-versioning format), {!Protocol.wire_version} for current
+    frames. Callers that track peers must feed the version through
+    {!Version_gate.admit} before trusting the message. *)
+
+val decode_strict : string -> (t, error) result
+(** {!decode_versioned} without the version. *)
+
 val decode : string -> t option
+(** [Result.to_option] over {!decode_strict}; kept for call sites that
+    only need a yes/no parse (e.g. classification) and do not count
+    rejects. *)
 
 val data_shim_len : int
 (** Length of an un-extended data shim (20). *)

@@ -1,0 +1,134 @@
+let file_name = "shim_v2.hex"
+
+(* Deterministic field material: recognisable ramps, nothing drawn from
+   any RNG, so the rendered corpus is a pure function of the codec. *)
+let pat start n = String.init n (fun i -> Char.chr ((start + i) land 0xff))
+let nonce = pat 0x10 Protocol.nonce_len
+let nonce2 = pat 0x40 Protocol.nonce_len
+let key = pat 0x20 Protocol.key_len
+let key2 = pat 0x50 Protocol.key_len
+let tag = pat 0x30 Protocol.tag_len
+let enc_addr = pat 0x60 4
+let outside = Net.Ipaddr.of_string "172.16.9.9"
+let customer = Net.Ipaddr.of_string "10.1.0.2"
+let dyn_addr = Net.Ipaddr.of_string "10.1.255.77"
+let pubkey = pat 0x01 67 (* RSA-512 e=3 public blob is ~70 bytes *)
+let rsa_ct = pat 0x80 64
+
+let plain_data =
+  { Shim.epoch = 3;
+    nonce;
+    enc_addr;
+    tag;
+    key_request = false;
+    from_customer = false;
+    refresh = None
+  }
+
+(* Every constructor, plus the boundary shapes the qcheck generators
+   probe: epoch 0 and 255, the 0L deadline/lease sentinels, an empty
+   blob, a maximum-length blob, and the 45-byte refresh-extended data
+   shim. Names are stable identifiers — renaming one is a vector change
+   and will show up as drift. *)
+let entries : (string * Shim.t) list =
+  [ ("key-setup-request", Shim.Key_setup_request { pubkey; deadline = 123_456_789L });
+    ("key-setup-request-no-deadline", Shim.Key_setup_request { pubkey = ""; deadline = 0L });
+    ( "key-setup-request-max-blob",
+      Shim.Key_setup_request
+        { pubkey = pat 0x00 Protocol.max_blob_len; deadline = Int64.max_int } );
+    ("key-setup-response", Shim.Key_setup_response { rsa_ct });
+    ("key-setup-response-empty", Shim.Key_setup_response { rsa_ct = "" });
+    ("data", Shim.Data plain_data);
+    ( "data-epoch-max",
+      Shim.Data { plain_data with epoch = 255; key_request = true } );
+    ( "data-from-customer",
+      Shim.Data
+        { plain_data with
+          epoch = 0;
+          from_customer = true;
+          enc_addr = "\x00\x00\x00\x00"
+        } );
+    ( "data-refresh",
+      Shim.Data
+        { plain_data with
+          key_request = true;
+          refresh = Some { Shim.r_epoch = 255; r_nonce = nonce2; r_key = key2 }
+        } );
+    ("return", Shim.Return { epoch = 7; nonce; initiator = outside });
+    ("return-epoch0", Shim.Return { epoch = 0; nonce = nonce2; initiator = customer });
+    ("reverse-key-request", Shim.Reverse_key_request { outside });
+    ("reverse-key-response", Shim.Reverse_key_response { epoch = 254; nonce; key });
+    ("qos-address-request", Shim.Qos_address_request { lease = 60_000_000_000L });
+    ("qos-address-request-zero", Shim.Qos_address_request { lease = 0L });
+    ( "qos-address-response",
+      Shim.Qos_address_response { addr = dyn_addr; lease = 600_000_000_000L } );
+    ( "offload",
+      Shim.Offload { pubkey; epoch = 9; nonce; key; requester = outside } );
+    ("stale-grant", Shim.Stale_grant { current_epoch = 0 });
+    ("stale-grant-epoch-max", Shim.Stale_grant { current_epoch = 255 })
+  ]
+
+(* A v1 frame is the same layout with 0 in the version slot — the byte
+   was "reserved, write zero" before versioning existed. The corpus
+   freezes a few so the legacy-accept path is pinned too. *)
+let legacy_of s =
+  let b = Bytes.of_string s in
+  Bytes.set b 3 '\x00';
+  Bytes.to_string b
+
+let legacy_entries : (string * Shim.t) list =
+  [ ("key-setup-request", Shim.Key_setup_request { pubkey; deadline = 123_456_789L });
+    ("data", Shim.Data plain_data);
+    ("stale-grant", Shim.Stale_grant { current_epoch = 4 })
+  ]
+
+let header =
+  "# Golden wire vectors for the shim codec (lib/core/shim.ml).\n\
+   # One line per frame: <name> v<version> <hex bytes>.\n\
+   # Regenerate with `netneutral vectors --write`; verify with\n\
+   # `netneutral vectors` or the @proto test alias. Any byte drift here\n\
+   # is a wire-format change and must bump Protocol.wire_version.\n"
+
+let render () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf header;
+  List.iter
+    (fun (name, msg) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s v2 %s\n" name
+           (Crypto.Bytes_util.to_hex (Shim.encode msg))))
+    entries;
+  List.iter
+    (fun (name, msg) ->
+      Buffer.add_string buf
+        (Printf.sprintf "legacy-%s v1 %s\n" name
+           (Crypto.Bytes_util.to_hex (legacy_of (Shim.encode msg)))))
+    legacy_entries;
+  Buffer.contents buf
+
+let self_check () =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let check_entry ~expect_version ~bytes name msg k =
+    match Shim.decode_versioned bytes with
+    | Error e ->
+      fail "%s: own encoding rejected: %s" name
+        (Format.asprintf "%a" Shim.pp_error e)
+    | Ok (v, _) when v <> expect_version ->
+      fail "%s: decoded at version %d, expected %d" name v expect_version
+    | Ok (_, msg') when msg' <> msg -> fail "%s: decode(encode) <> id" name
+    | Ok _ -> k ()
+  in
+  let rec go_current = function
+    | [] -> go_legacy legacy_entries
+    | (name, msg) :: rest ->
+      check_entry ~expect_version:Protocol.wire_version
+        ~bytes:(Shim.encode msg) name msg (fun () -> go_current rest)
+  and go_legacy = function
+    | [] -> Ok ()
+    | (name, msg) :: rest ->
+      check_entry ~expect_version:Protocol.wire_version_legacy
+        ~bytes:(legacy_of (Shim.encode msg))
+        ("legacy-" ^ name) msg
+        (fun () -> go_legacy rest)
+  in
+  go_current entries

@@ -1,0 +1,24 @@
+(** Golden wire vectors: the frozen byte encodings of every shim message
+    kind, checked into [test/vectors/] so a perf refactor (like the PR
+    4/5 hot-path work) is provably byte-compatible and any accidental
+    wire change fails loudly instead of shipping.
+
+    The corpus covers all ten {!Shim.t} constructors plus boundary
+    shapes (epoch 0/255, 0L deadline/lease sentinels, empty and
+    maximum-length blobs, the refresh-extended 45-byte data shim) and a
+    few legacy-v1 frames pinning the downgrade-accept path. Everything
+    is computed from fixed byte ramps — no RNG, no clock — so
+    {!render} is a pure function of the codec. *)
+
+val file_name : string
+(** ["shim_v2.hex"] — the file under [test/vectors/]. *)
+
+val render : unit -> string
+(** The canonical file body: a comment header then one
+    [<name> v<version> <hex>] line per vector. Byte-compare against the
+    checked-in file; any difference is wire drift. *)
+
+val self_check : unit -> (unit, string) result
+(** Re-decode every vector and confirm it round-trips to its source
+    message at the expected version — guards the corpus itself against
+    encoding entries the decoder would refuse. *)

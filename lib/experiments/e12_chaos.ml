@@ -20,8 +20,23 @@ type result = {
   lost_until_rehome : int;
   key_setups_failed : int;
   faults_injected : int;
+  corrupt_injected : int;
+  proto_rejected : int;
   recoveries_ns : int64 list; (* chronological *)
 }
+
+(* The obs registry is process-global and cumulative, so per-run figures
+   are deltas of a prefix sum taken before and after the run. *)
+let counter_sum ~prefix reg =
+  List.fold_left
+    (fun acc (name, _labels, m) ->
+      match m with
+      | Obs.Registry.Counter c
+        when String.starts_with ~prefix name ->
+        acc + Obs.Counter.value c
+      | _ -> acc)
+    0
+    (Obs.Registry.metrics reg)
 
 let quantile q = function
   | [] -> 0L
@@ -42,12 +57,22 @@ let default_plan =
       ]
   }
 
-let run ?seed ?(plan = default_plan) ?(duration_s = 30.0) ?(period_s = 0.02)
-    () =
+let run ?seed ?(plan = default_plan) ?(corrupt = 0.0) ?(duration_s = 30.0)
+    ?(period_s = 0.02) () =
   let seed = match seed with Some s -> s | None -> Fault.Inject.env_seed () in
   let world = Scenario.World.create () in
   let engine = world.Scenario.World.engine in
   let inj = Fault.Inject.create ~seed world.Scenario.World.net in
+  let reg = Net.Engine.obs engine in
+  let proto_before = counter_sum ~prefix:"core.proto.reject." reg in
+  (* Wire corruption composes with the crash schedule: flipped bits end
+     as counted core.proto.reject.* drops at whichever box or host
+     decodes the frame, never as crashes or misparses. Guarded so the
+     default run's fault timeline (and its pinned golden digest) is
+     untouched — installing the hook would consume PRNG draws. *)
+  if corrupt > 0.0 then
+    Fault.Inject.perturb_all_links inj
+      ~profile:{ Fault.Inject.calm with corrupt };
   let sent = ref 0 and delivered = ref 0 in
   let crashes = ref 0 in
   let crash_at = ref None in
@@ -96,6 +121,12 @@ let run ?seed ?(plan = default_plan) ?(duration_s = 30.0) ?(period_s = 0.02)
              ~flow_id:1 ~seq:i
              (Printf.sprintf "req-%d" i)))
   done;
+  let corrupt_ctr =
+    Obs.Registry.counter reg
+      ~labels:[ ("kind", "corrupt") ]
+      "fault.injected_total"
+  in
+  let corrupt_before = Obs.Counter.value corrupt_ctr in
   Scenario.World.run world;
   { seed;
     crashes = !crashes;
@@ -107,6 +138,9 @@ let run ?seed ?(plan = default_plan) ?(duration_s = 30.0) ?(period_s = 0.02)
     lost_until_rehome = !sent - !delivered;
     key_setups_failed = (Core.Client.counters client).key_setups_failed;
     faults_injected = Fault.Inject.injected inj;
+    corrupt_injected = Obs.Counter.value corrupt_ctr - corrupt_before;
+    proto_rejected =
+      counter_sum ~prefix:"core.proto.reject." reg - proto_before;
     recoveries_ns = List.rev !recoveries
   }
 
@@ -123,6 +157,8 @@ let to_rows r =
     [ "lost until re-home"; string_of_int r.lost_until_rehome ];
     [ "key setups failed"; string_of_int r.key_setups_failed ];
     [ "faults injected"; string_of_int r.faults_injected ];
+    [ "corrupted frames injected"; string_of_int r.corrupt_injected ];
+    [ "proto rejects (typed drops)"; string_of_int r.proto_rejected ];
     [ "recovery p50 (ms)"; ms (quantile 0.50 r.recoveries_ns) ];
     [ "recovery p95 (ms)"; ms (quantile 0.95 r.recoveries_ns) ];
     [ "recovery max (ms)"; ms (quantile 1.0 r.recoveries_ns) ]

@@ -19,6 +19,12 @@ type result = {
           window before the flow re-homed *)
   key_setups_failed : int;
   faults_injected : int;
+  corrupt_injected : int;
+      (** frames bit-flipped on the wire this run ([corrupt] > 0) *)
+  proto_rejected : int;
+      (** frames the strict shim decoders dropped-and-counted this run —
+          the sum over the [core.proto.reject.*] families; with
+          corruption on, mangled frames land here, never as crashes *)
   recoveries_ns : int64 list;
       (** per-crash latency from crash to the next delivered reply *)
 }
@@ -29,12 +35,16 @@ val default_plan : Fault.Plan.t
 val run :
   ?seed:int ->
   ?plan:Fault.Plan.t ->
+  ?corrupt:float ->
   ?duration_s:float ->
   ?period_s:float ->
   unit ->
   result
 (** [duration_s] (default 30) of one request every [period_s]
-    (default 0.02) from Ann to google.example under [plan]. *)
+    (default 0.02) from Ann to google.example under [plan]. [corrupt]
+    (default 0) adds per-packet bit-flip probability on every link;
+    leaving it 0 installs no hook at all, keeping the default run's
+    fault timeline (and its pinned golden digest) bit-exact. *)
 
 val quantile : float -> int64 list -> int64
 

@@ -54,6 +54,16 @@ val injected : t -> int
     faults) — the bound the acceptance criteria check
     [key_setups_failed] against. *)
 
+val flip_bit : Prng.t -> string -> string
+(** Flip one uniformly-chosen bit; [""] passes through. The mutation
+    primitive behind {!corrupt_packet}, exposed so the protocol fuzzer
+    (test_proto) mangles frames with exactly the corruption the chaos
+    runs inject. *)
+
+val corrupt_packet : Prng.t -> Net.Packet.t -> Net.Packet.t
+(** Flip one bit of the packet's wire image, weighted towards whichever
+    of the shim and payload is longer. *)
+
 val perturb_link : t -> label:string -> profile:profile -> Net.Link.t -> unit
 (** Install a wire-fault hook on one link. [label] keys the link's PRNG
     stream; use a stable name so runs reproduce. *)

@@ -56,12 +56,17 @@ val make :
 
 val size : t -> int
 (** On-the-wire size in bytes: 20 (IP) + 8 (UDP/TCP-lite) + shim +
-    payload. This is the size links charge transmission time for; with a
-    16-byte nonce, a 16-byte encrypted address and 4 bytes of shim
-    framing, a 64-byte payload yields the paper's 112-byte neutralized
-    packet (§4). *)
+    payload. This is the size links charge transmission time for; the
+    20-byte data shim (4-byte header, 8-byte nonce, 4-byte blinded
+    address, 4-byte tag — see [Core.Shim]) plus a 64-byte payload yields
+    the paper's 112-byte neutralized packet (§4). *)
 
 val decrement_ttl : t -> t option
 (** [None] when the TTL hits zero. *)
+
+val map_shim : t -> (string -> string) -> t
+(** Transform the shim bytes, if present — what fault injectors and
+    fuzzers use to mangle the frame without touching the rest of the
+    packet. *)
 
 val pp : Format.formatter -> t -> unit

@@ -136,12 +136,15 @@ let test_golden_digests () =
     Experiments.E12_chaos.to_rows
       (Experiments.E12_chaos.run ~seed:7 ~duration_s:3.0 ())
   in
+  (* Re-pinned for wire format v2: every shim frame now carries the
+     version byte, which moves the E1/E2 shim digests and (through the
+     DRBG draws) the seeded chaos table. *)
   check_golden "E1 key-setup table"
-    "c64fbe6a9b0a80d8f7e06f35486ac99d54a710a692f7c6d30c156f41e2e88317" e1;
+    "17da06e639c2ef49d5611f2fc93703de4ad70dcd238d177182a67424e2d47e71" e1;
   check_golden "E2 datapath table"
-    "6d3ba090178b72d973d831c4eb6f1c6feb6246495a961d966069a811ede4d506" e2;
+    "af4ae9b3a47d7ddc3a175fc66030b7caf6e4403cc5be9aecdb148562b4e16ac8" e2;
   check_golden "E12 chaos table (seed 7)"
-    "f4ec4917396d789f94dce5e74954a9f26eff47e3a735ce5f24c0e513ebfa813d" e12
+    "b54c8bffe59ae4c2f55167bed941b0a1817682206de166e38cad71dc729a19a7" e12
 
 let () =
   Alcotest.run "experiments"

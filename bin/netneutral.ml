@@ -398,12 +398,73 @@ let run_overload quick seed chaos =
     ~prefixes:[ "core.client." ]
     ()
 
+(* Multicore sweeps measured on a single-core host silently read as
+   "no speedup"; say so out loud instead of letting the JSON mislead. *)
+let warn_single_core what =
+  if Par.recommended () <= 1 then
+    Printf.eprintf
+      "netneutral: warning: single-core host (Par.recommended = 1); %s \
+       speedups cannot exceed 1x here and measure coordination overhead, \
+       not scaling. The equivalence digests are still binding.\n%!"
+      what
+
+(* The committed baseline's sim_events_per_s, scanned out of the
+   previous BENCH_perf.json without a JSON parser dependency. *)
+let baseline_sim_events_per_s file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error _ -> None
+  | body ->
+    let key = "\"sim_events_per_s\":" in
+    let rec find i =
+      if i + String.length key > String.length body then None
+      else if String.sub body i (String.length key) = key then
+        Some (i + String.length key)
+      else find (i + 1)
+    in
+    (match find 0 with
+     | None -> None
+     | Some start ->
+       let stop = ref start in
+       while
+         !stop < String.length body
+         && (match body.[!stop] with
+             | '0' .. '9' | '.' | ' ' | '-' -> true
+             | _ -> false)
+       do
+         incr stop
+       done;
+       float_of_string_opt (String.trim (String.sub body start (!stop - start))))
+
 (* `netneutral bench`: the perf regression harness — before/after rates
    for every hot path the performance pass touched, written as
-   BENCH_perf.json. *)
+   BENCH_perf.json. A committed baseline at the output path doubles as
+   a drift gate: a >20% sim_events_per_s regression fails the run (and
+   leaves the baseline file untouched). *)
 let run_bench quick out =
+  let baseline = baseline_sim_events_per_s out in
   let r = Experiments.Perf.run ~min_time:(if quick then 0.05 else 0.4) () in
   Experiments.Perf.print r;
+  (match baseline with
+   | Some base when base > 0.0 ->
+     let fresh = r.Experiments.Perf.sim_events_per_s in
+     let ratio = fresh /. base in
+     Printf.printf "bench drift: sim events/s %.0f vs committed %.0f (%.2fx)\n"
+       fresh base ratio;
+     if ratio < 0.8 then
+       if quick then
+         Printf.eprintf
+           "netneutral: warning: sim_events_per_s regressed >20%% vs %s, \
+            but --quick windows are noise; rerun without --quick to \
+            confirm\n%!"
+           out
+       else begin
+         Printf.eprintf
+           "netneutral: sim_events_per_s regressed >20%% vs committed %s \
+            (%.0f -> %.0f); baseline left untouched\n"
+           out base fresh;
+         exit 1
+       end
+   | _ -> ());
   match open_out out with
   | exception Sys_error msg ->
     Printf.eprintf "netneutral: cannot write bench results: %s\n" msg;
@@ -421,6 +482,7 @@ let run_par quick out =
   Printf.printf
     "par: recommended domains %d, PAR_POOL default %d, PAR_SEED %d\n"
     (Par.recommended ()) (Par.default_size ()) (Par.seed ());
+  warn_single_core "domain-pool";
   let r = Experiments.Par_scaling.run ~min_time:(if quick then 0.05 else 0.4) () in
   Experiments.Par_scaling.print r;
   if not (r.Experiments.Par_scaling.e1_equivalent
@@ -443,6 +505,7 @@ let run_par quick out =
    shard-count-equivalence digests at shard counts 1/2/4, written as
    BENCH_pdes.json. A digest divergence is a failed run. *)
 let run_pdes quick out =
+  warn_single_core "sharded-engine";
   let r =
     if quick then Experiments.Pdes_scaling.run ~tokens:32 ~hops:200 ()
     else Experiments.Pdes_scaling.run ()
@@ -462,6 +525,35 @@ let run_pdes quick out =
     output_char oc '\n';
     close_out oc;
     Printf.printf "pdes results written to %s\n" out
+
+(* `netneutral scale`: the E14 fluid-aggregate capstone — equivalence
+   gate, cross-shard digest gate, then the million-client run on a
+   generated AS-scale topology, written as BENCH_scale.json. Any gate
+   failure exits 1. *)
+let run_scale quick out =
+  warn_single_core "hybrid-tier";
+  let r =
+    if quick then
+      Experiments.E14_scale.run ~domains:40 ~cohorts:80 ~clients_per_cohort:250
+        ~steps:30 ()
+    else Experiments.E14_scale.run ()
+  in
+  Experiments.E14_scale.print r;
+  if not r.Experiments.E14_scale.ok then begin
+    Printf.eprintf
+      "netneutral: scale gates failed (equivalence %B, shard invariance %B)\n"
+      r.Experiments.E14_scale.eq_ok r.Experiments.E14_scale.inv_ok;
+    exit 1
+  end;
+  match open_out out with
+  | exception Sys_error msg ->
+    Printf.eprintf "netneutral: cannot write scale results: %s\n" msg;
+    exit 1
+  | oc ->
+    output_string oc (Experiments.E14_scale.to_json r);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "scale results written to %s\n" out
 
 (* `netneutral vectors`: regenerate or verify the golden wire vectors.
    Verification is a byte compare against Core.Vectors.render — any
@@ -654,6 +746,23 @@ let () =
             the sequential engine fails the run)")
       Term.(const run_pdes $ quick_flag $ out_opt)
   in
+  let scale_cmd =
+    let out_opt =
+      let doc = "Write the JSON results to $(docv)." in
+      Arg.(
+        value & opt string "BENCH_scale.json"
+        & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "scale"
+         ~doc:
+           "E14 fluid-aggregate capstone: small-topology fluid vs \
+            per-packet equivalence, bit-identical cohort digests across \
+            shard counts, then a million-client hybrid run on a generated \
+            AS-scale topology (events/s, wall-clock, neutralizer goodput); \
+            any gate failure exits 1")
+      Term.(const run_scale $ quick_flag $ out_opt)
+  in
   let overload_cmd =
     let seed_opt =
       let doc =
@@ -720,4 +829,4 @@ let () =
        (Cmd.group ~default info
           (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: stats_cmd
            :: chaos_cmd :: overload_cmd :: bench_cmd :: par_cmd :: pdes_cmd
-           :: vectors_cmd :: exp_cmds)))
+           :: scale_cmd :: vectors_cmd :: exp_cmds)))

@@ -12,11 +12,21 @@
    digest identically no matter which round interleaving delivered
    them. *)
 
-type workload = { digest : string; events : int; seconds : float }
+type workload = {
+  digest : string;
+  events : int;
+  seconds : float;
+  rounds : int;  (* barrier rounds the run needed (0 sequential) *)
+  lookahead : int64;  (* what the engine's auto-tuner settled on *)
+}
 
 type point = {
   shards : int;
   events_per_s : float;
+  rounds : int;
+  events_per_round : float;  (* barrier amortization: higher is cheaper *)
+  us_per_round : float;  (* wall-clock per round, barrier included *)
+  lookahead_ns : int64;
   digest : string;
   seq_digest : string; (* same shards, no pool: the round reference *)
 }
@@ -46,8 +56,6 @@ let inter_latency i =
   (* Ring latencies vary per edge so the lookahead bound is exercised
      against a non-uniform minimum. *)
   Int64.of_int (200_000 + (20_000 * (i mod 5)))
-
-let min_inter_latency = 200_000L
 
 (* [domains] stub sites around a ring: one router plus [hosts] hosts
    each; hosts attach to their router, routers link to both ring
@@ -115,16 +123,13 @@ let run_workload ?(domains = 8) ?(hosts_per_domain = 6) ?(tokens = 64)
   let intra, inter = adjacency top in
   let n = Net.Topology.node_count top in
   let shard_of = Array.init n (fun nid -> Net.Topology.shard_of top ~shards nid) in
-  let lookahead =
-    match Net.Topology.cross_shard_lookahead top ~shards with
-    | Some l -> l
-    | None -> min_inter_latency
-  in
   let acc = Array.make n 0 and cnt = Array.make n 0 in
+  (* No explicit lookahead: the engine's auto-tuner reads the largest
+     safe window off the topology (min cross-shard link latency). *)
   let engine =
     Net.Engine.create
       ~obs:(Obs.Registry.create ())
-      ~capacity:(max 16 tokens) ~shards ~lookahead ()
+      ~capacity:(max 16 tokens) ~shards ~topo:top ()
   in
   (* One token arrival: fold the event's identity into its node's
      commutative accumulator, then derive the next hop from the payload
@@ -169,14 +174,10 @@ let run_workload ?(domains = 8) ?(hosts_per_domain = 6) ?(tokens = 64)
   done;
   { digest = Crypto.Sha256.digest_hex (Buffer.contents buf);
     events = Net.Engine.processed engine;
-    seconds
+    seconds;
+    rounds = Net.Engine.rounds engine;
+    lookahead = Net.Engine.lookahead engine
   }
-
-let lookahead_of ?(domains = 8) ?(hosts_per_domain = 6) ~shards () =
-  let top, _, _ = ring_topology ~domains ~hosts_per_domain in
-  match Net.Topology.cross_shard_lookahead top ~shards with
-  | Some l -> l
-  | None -> min_inter_latency
 
 let run ?(shard_counts = [ 1; 2; 4 ]) ?(domains = 8) ?(hosts_per_domain = 6)
     ?(tokens = 128) ?(hops = 600) ?(seed = 1) () =
@@ -192,6 +193,14 @@ let run ?(shard_counts = [ 1; 2; 4 ]) ?(domains = 8) ?(hosts_per_domain = 6)
         let seq = wl shards None in
         { shards;
           events_per_s = float_of_int par.events /. par.seconds;
+          rounds = par.rounds;
+          events_per_round =
+            (if par.rounds = 0 then float_of_int par.events
+             else float_of_int par.events /. float_of_int par.rounds);
+          us_per_round =
+            (if par.rounds = 0 then 0.0
+             else par.seconds *. 1e6 /. float_of_int par.rounds);
+          lookahead_ns = par.lookahead;
           digest = par.digest;
           seq_digest = seq.digest
         })
@@ -202,7 +211,10 @@ let run ?(shard_counts = [ 1; 2; 4 ]) ?(domains = 8) ?(hosts_per_domain = 6)
     hosts_per_domain;
     tokens;
     hops;
-    lookahead_ns = lookahead_of ~domains ~hosts_per_domain ~shards:2 ();
+    lookahead_ns =
+      (* the auto-tuned window of the widest sharded point (0 when the
+         sweep never sharded) *)
+      List.fold_left (fun a (p : point) -> max a p.lookahead_ns) 0L points;
     total_events = tokens * (hops + 1);
     points;
     equivalent =
@@ -220,15 +232,20 @@ let print r =
     ~title:
       (Printf.sprintf
          "pdes: sharded engine scaling (%d domains x %d hosts, %d tokens x \
-          %d hops, lookahead %Ld ns)"
+          %d hops, auto-tuned lookahead %Ld ns)"
          r.domains r.hosts_per_domain r.tokens r.hops r.lookahead_ns)
-    ~header:[ "shards"; "events/s"; "x"; "digest ok" ]
+    ~header:
+      [ "shards"; "events/s"; "x"; "rounds"; "ev/round"; "us/round";
+        "digest ok" ]
     (let base = List.hd r.points in
      List.map
        (fun p ->
          [ string_of_int p.shards;
            Table.kops p.events_per_s;
            Table.f2 (p.events_per_s /. base.events_per_s);
+           string_of_int p.rounds;
+           Printf.sprintf "%.0f" p.events_per_round;
+           Table.f2 p.us_per_round;
            (if p.digest = base.digest && p.seq_digest = base.digest then "yes"
             else "NO")
          ])
@@ -259,17 +276,22 @@ let to_json r =
       Buffer.add_string buf
         (Printf.sprintf
            "%s{\"shards\": %d, \"events_per_s\": %.1f, \"speedup\": %.3f, \
-            \"digest\": \"%s\", \"seq_digest\": \"%s\"}"
+            \"rounds\": %d, \"events_per_round\": %.1f, \"us_per_round\": \
+            %.2f, \"lookahead_ns\": %Ld, \"digest\": \"%s\", \"seq_digest\": \
+            \"%s\"}"
            (if i = 0 then "" else ", ")
            p.shards p.events_per_s
            (p.events_per_s /. base.events_per_s)
-           p.digest p.seq_digest))
+           p.rounds p.events_per_round p.us_per_round p.lookahead_ns p.digest
+           p.seq_digest))
     r.points;
   Buffer.add_string buf
     (Printf.sprintf
        "], \"sequential_equivalence\": %b, \"best_speedup\": %.3f, \
         \"note\": \"digests are SHA-256 over per-node XOR accumulators and \
         arrival counts; every shard count (and each count's no-pool round \
-        reference) must match shards=1 exactly\"}"
+        reference) must match shards=1 exactly; lookahead comes from the \
+        engine auto-tuner (Topology.cross_shard_lookahead), and rounds / \
+        events-per-round profile the conservative round barrier\"}"
        r.equivalent r.best_speedup);
   Buffer.contents buf

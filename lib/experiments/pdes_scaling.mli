@@ -14,6 +14,8 @@ type workload = {
   digest : string;  (** hex SHA-256 over per-node accumulators/counts *)
   events : int;  (** events processed by the engine *)
   seconds : float;  (** wall-clock time of the run *)
+  rounds : int;  (** barrier rounds the engine needed (0 sequential) *)
+  lookahead : int64;  (** the window the engine's auto-tuner settled on *)
 }
 
 val run_workload :
@@ -37,6 +39,10 @@ val run_workload :
 type point = {
   shards : int;
   events_per_s : float;  (** parallel run, pool size = shard count *)
+  rounds : int;  (** conservative rounds the pooled run executed *)
+  events_per_round : float;  (** barrier amortization: higher is cheaper *)
+  us_per_round : float;  (** wall-clock per round, barrier included *)
+  lookahead_ns : int64;  (** auto-tuned window at this shard count *)
   digest : string;
   seq_digest : string;  (** same shard count, no pool: round reference *)
 }
@@ -46,7 +52,7 @@ type result = {
   hosts_per_domain : int;
   tokens : int;
   hops : int;
-  lookahead_ns : int64;  (** cross-shard minimum link latency at 2 shards *)
+  lookahead_ns : int64;  (** widest auto-tuned window seen in the sweep *)
   total_events : int;
   points : point list;
   equivalent : bool;  (** every digest matches the shards=1 reference *)

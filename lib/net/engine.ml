@@ -38,6 +38,7 @@ type t = {
   lookahead : int64; (* 0 when single-shard; > 0 otherwise *)
   mutable clock : int64; (* coordinator clock: per event when
                             single-shard, per round otherwise *)
+  mutable nrounds : int; (* barrier rounds completed (sharded only) *)
   mutable in_round : bool;
   mutable horizon : int64; (* exclusive bound of the round in flight *)
   obs : Obs.Registry.t;
@@ -75,8 +76,8 @@ let () =
    caller, without threading a context through every closure. *)
 let executing_shard : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
 
-let create ?(obs = Obs.Registry.default) ?capacity ?(shards = 1)
-    ?(lookahead = 0L) () =
+let create ?(obs = Obs.Registry.default) ?capacity ?(shards = 1) ?lookahead
+    ?topo () =
   (* Validate here with engine-phrased errors rather than letting the
      heap's array allocation raise something about Pqueue internals. *)
   let capacity =
@@ -88,10 +89,34 @@ let create ?(obs = Obs.Registry.default) ?capacity ?(shards = 1)
       c
   in
   if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
-  if shards > 1 && Int64.compare lookahead 0L <= 0 then
-    invalid_arg
-      "Engine.create: a sharded engine needs a positive lookahead (the \
-       minimum cross-shard event latency)";
+  (* The lookahead auto-tuner: with a topology in hand the largest safe
+     conservative window is known exactly — the smallest latency of any
+     link crossing shards under [Topology.shard_of]. An explicit
+     [lookahead] still wins (it must then under-state, never over-state,
+     that minimum); a topology with no cross-shard links makes any
+     window safe. *)
+  let lookahead =
+    match lookahead with
+    | Some l ->
+      if shards > 1 && Int64.compare l 0L <= 0 then
+        invalid_arg
+          "Engine.create: a sharded engine needs a positive lookahead (the \
+           minimum cross-shard event latency)";
+      l
+    | None ->
+      if shards = 1 then 0L
+      else begin
+        match topo with
+        | None ->
+          invalid_arg
+            "Engine.create: a sharded engine needs either an explicit \
+             lookahead or a topology to auto-tune it from"
+        | Some topo ->
+          (match Topology.cross_shard_lookahead topo ~shards with
+           | Some l -> l
+           | None -> Int64.max_int)
+      end
+  in
   let t =
     { shards =
         Array.init shards (fun id ->
@@ -113,6 +138,7 @@ let create ?(obs = Obs.Registry.default) ?capacity ?(shards = 1)
             });
       lookahead = (if shards = 1 then 0L else lookahead);
       clock = 0L;
+      nrounds = 0;
       in_round = false;
       horizon = 0L;
       obs;
@@ -132,10 +158,20 @@ let create ?(obs = Obs.Registry.default) ?capacity ?(shards = 1)
   t
 
 let obs t = t.obs
-let now t = t.clock
-let now_s t = Int64.to_float t.clock *. 1e-9
+
+(* Inside a handler, "now" is the executing event's timestamp — the
+   shard's own clock, not the coordinator's round base. Anything built
+   on [now] (link serialization, packet timestamps) therefore behaves
+   identically at every shard count; the round base is a scheduling
+   artifact that must never leak into the simulation. *)
+let now t =
+  let i = Domain.DLS.get executing_shard in
+  if i >= 0 && i < Array.length t.shards then t.shards.(i).sclock else t.clock
+
+let now_s t = Int64.to_float (now t) *. 1e-9
 let shards t = Array.length t.shards
 let lookahead t = t.lookahead
+let rounds t = t.nrounds
 
 let shard_now t ~shard =
   if shard < 0 || shard >= Array.length t.shards then
@@ -351,6 +387,7 @@ let run_rounds ?pool ?until ?max_events t =
               Par.round pool ~n:nshards ~f:(fun i ->
                   process_shard t ~horizon ~until t.shards.(i)));
         merge_outboxes t;
+        t.nrounds <- t.nrounds + 1;
         (match t.c_rounds with Some c -> Obs.Counter.inc c | None -> ());
         (* [max_events] is a round-granular bound here: the budget is
            re-checked at each barrier, never mid-round (a mid-round stop

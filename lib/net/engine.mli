@@ -66,6 +66,7 @@ val create :
   ?capacity:int ->
   ?shards:int ->
   ?lookahead:int64 ->
+  ?topo:Topology.t ->
   unit ->
   t
 (** [obs] defaults to {!Obs.Registry.default}; the registry's clock is
@@ -74,17 +75,27 @@ val create :
     a heap resize; when given it must be positive — non-positive values
     raise [Invalid_argument] here rather than surfacing as an array
     allocation error from heap internals. [shards] (default 1) is the
-    number of event lanes; [lookahead] (nanoseconds) is required
-    positive when [shards > 1] and ignored otherwise. *)
+    number of event lanes.
+
+    [lookahead] (nanoseconds) is the conservative window; when omitted
+    on a sharded engine the {e auto-tuner} derives it from [topo] as
+    {!Topology.cross_shard_lookahead} — the largest window that is still
+    safe for that topology (unbounded when no link crosses shards). An
+    explicit [lookahead] must be positive when [shards > 1]; omitting
+    both [lookahead] and [topo] on a sharded engine raises
+    [Invalid_argument]. Single-shard engines ignore both. *)
 
 val obs : t -> Obs.Registry.t
 (** The registry this engine (and the network built on it) records
     into. *)
 
 val now : t -> int64
-(** Current simulated time in nanoseconds: the clock of the running
-    event on a single-shard engine, the current round's base time on a
-    sharded one (see {!shard_now} for a shard's own clock). *)
+(** Current simulated time in nanoseconds. Inside an event handler this
+    is the executing event's timestamp on {e every} engine — on a
+    sharded engine the handler's own shard clock, never the round base —
+    so time-dependent code (link serialization, packet timestamps)
+    behaves identically at every shard count. From the coordinator
+    between rounds it is the engine clock. *)
 
 val now_s : t -> float
 (** Current simulated time in seconds. *)
@@ -93,8 +104,12 @@ val shards : t -> int
 (** Number of event lanes (1 for the sequential engine). *)
 
 val lookahead : t -> int64
-(** The configured conservative lookahead; [0L] on a single-shard
-    engine. *)
+(** The conservative lookahead in effect (configured or auto-tuned);
+    [0L] on a single-shard engine. *)
+
+val rounds : t -> int
+(** Barrier rounds completed so far — the denominator of any
+    round-overhead profile. Always [0] on a single-shard engine. *)
 
 val shard_now : t -> shard:int -> int64
 (** [shard_now t ~shard] is that shard's local clock: the timestamp of

@@ -103,6 +103,29 @@ let to_report flow_id (r : record) =
        else float_of_int (8 * r.received_bytes) /. span_s)
   }
 
+(* Reports for traffic that never existed as packets: the fluid-aggregate
+   tier measures whole cohorts analytically and renders them in the same
+   shape the packet instrument produces, so experiment tables mix tiers
+   freely. *)
+let synthetic ~flow_id ~app ~sent ~received ~sent_bytes ~received_bytes
+    ~mean_latency_ms ~max_latency_ms ~jitter_ms ~duration_s =
+  { flow_id;
+    app;
+    sent;
+    received;
+    sent_bytes;
+    received_bytes;
+    loss =
+      (if sent = 0 then 0.0
+       else Float.max 0.0 (float_of_int (sent - received) /. float_of_int sent));
+    mean_latency_ms;
+    max_latency_ms;
+    jitter_ms;
+    throughput_bps =
+      (if duration_s <= 0.0 then 0.0
+       else float_of_int (8 * received_bytes) /. duration_s)
+  }
+
 let report t ~flow_id =
   Option.map (to_report flow_id) (Hashtbl.find_opt t flow_id)
 

@@ -29,6 +29,24 @@ val on_receive : t -> now:int64 -> Packet.t -> unit
 val report : t -> flow_id:int -> report option
 val reports : t -> report list
 
+val synthetic :
+  flow_id:int ->
+  app:string ->
+  sent:int ->
+  received:int ->
+  sent_bytes:int ->
+  received_bytes:int ->
+  mean_latency_ms:float ->
+  max_latency_ms:float ->
+  jitter_ms:float ->
+  duration_s:float ->
+  report
+(** Build a report from externally-measured totals — the constructor the
+    fluid-aggregate tier ({!Aggregate}) uses so cohort statistics come
+    out in the same shape as packet-level flows. [loss] is derived from
+    [sent]/[received] and [throughput_bps] from [received_bytes] over
+    [duration_s]. *)
+
 (** [mos r] maps loss and latency to a crude E-model style VoIP
     mean-opinion-score in [1.0, 4.5] — the "can you still hear the other
     side" metric of experiment E5. *)

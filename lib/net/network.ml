@@ -26,6 +26,11 @@ type t = {
   down_nodes : (int, unit) Hashtbl.t;
   ctrs : counters;
   c_delivered : Obs.Counter.t;
+  (* Drop counters pre-resolved at creation: [drop] may run on a worker
+     domain under a sharded engine (the fluid tier's spill packets), and
+     registry resolution mutates a hashtable — only the bumps are
+     atomic. *)
+  c_drops : Obs.Counter.t array; (* indexed by drop_index *)
 }
 
 and handler = t -> Topology.node_id -> Packet.t -> unit
@@ -34,9 +39,23 @@ let engine t = t.engine
 let topology t = t.topo
 let counters t = t.ctrs
 
+let drop_reasons =
+  [| "no_route"; "ttl"; "policy"; "queue"; "link_down"; "node_down"; "shed" |]
+
+let drop_index = function
+  | `No_route -> 0
+  | `Ttl -> 1
+  | `Policy -> 2
+  | `Queue -> 3
+  | `Link_down -> 4
+  | `Node_down -> 5
+  | `Shed -> 6
+
 (* The ad-hoc counters record is kept as the stable API; the same
    increments are mirrored into the obs registry as labeled families
-   (net.network.delivered, net.network.dropped{reason}). *)
+   (net.network.delivered, net.network.dropped{reason}). The record
+   fields are engine-thread bookkeeping; under a sharded engine only
+   the pre-resolved (atomic) obs counters are exact. *)
 let drop t reason =
   (match reason with
    | `No_route -> t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1
@@ -46,20 +65,7 @@ let drop t reason =
    | `Link_down -> t.ctrs.dropped_link_down <- t.ctrs.dropped_link_down + 1
    | `Node_down -> t.ctrs.dropped_node_down <- t.ctrs.dropped_node_down + 1
    | `Shed -> t.ctrs.dropped_shed <- t.ctrs.dropped_shed + 1);
-  let label =
-    match reason with
-    | `No_route -> "no_route"
-    | `Ttl -> "ttl"
-    | `Policy -> "policy"
-    | `Queue -> "queue"
-    | `Link_down -> "link_down"
-    | `Node_down -> "node_down"
-    | `Shed -> "shed"
-  in
-  Obs.Counter.inc
-    (Obs.Registry.counter (Engine.obs t.engine)
-       ~labels:[ ("reason", label) ]
-       "net.network.dropped")
+  Obs.Counter.inc t.c_drops.(drop_index reason)
 let set_handler t nid h = Hashtbl.replace t.handlers nid h
 
 let add_middleware t did m =
@@ -67,6 +73,11 @@ let add_middleware t did m =
   Hashtbl.replace t.middlewares did (cur @ [ m ])
 
 let clear_middlewares t did = Hashtbl.remove t.middlewares did
+
+let policed t did =
+  match Hashtbl.find_opt t.middlewares did with
+  | None | Some [] -> false
+  | Some _ -> true
 
 let add_tap t did f =
   let cur = Option.value ~default:[] (Hashtbl.find_opt t.taps did) in
@@ -246,6 +257,13 @@ let create ?(policy = Routing.Shortest) engine topo =
       down_nodes = Hashtbl.create 4;
       c_delivered =
         Obs.Registry.counter (Engine.obs engine) "net.network.delivered";
+      c_drops =
+        Array.map
+          (fun reason ->
+            Obs.Registry.counter (Engine.obs engine)
+              ~labels:[ ("reason", reason) ]
+              "net.network.dropped")
+          drop_reasons;
       ctrs =
         { delivered = 0;
           dropped_no_route = 0;
@@ -260,6 +278,24 @@ let create ?(policy = Routing.Shortest) engine topo =
   in
   recompute_routes t;
   t
+
+(* Wire-level injection: the packet arrives at [nid] as if off a link —
+   transit middleware, TTL, policy and all. The fluid tier's spill
+   boundary uses this to drop representative packets into a boundary
+   domain exactly where the aggregate's traffic would enter it. *)
+let inject t nid p = receive t nid p
+
+let route_path t ~from dst =
+  let n = Topology.node_count t.topo in
+  let rec walk acc hops nid =
+    if hops > n then None (* routing loop; cannot happen on converged tables *)
+    else
+      match Routing.next_hop t.routing t.topo ~from:nid dst with
+      | None -> None
+      | Some next when next = nid -> Some (List.rev (nid :: acc))
+      | Some next -> walk (nid :: acc) (hops + 1) next
+  in
+  walk [] 0 from
 
 let run ?pool ?until ?max_events t =
   Engine.run ?pool ?until ?max_events t.engine

@@ -46,6 +46,11 @@ val add_middleware : t -> Topology.domain_id -> middleware -> unit
 
 val clear_middlewares : t -> Topology.domain_id -> unit
 
+val policed : t -> Topology.domain_id -> bool
+(** Whether the domain currently has a non-empty middleware chain — the
+    predicate the fluid-aggregate tier uses to mark a domain as a
+    spill-to-packet boundary (its policies must see real packets). *)
+
 val add_tap : t -> Topology.domain_id -> (Observation.t -> unit) -> unit
 (** Passive eavesdropping: sees every packet traversing or arriving at any
     node of the domain. *)
@@ -53,6 +58,20 @@ val add_tap : t -> Topology.domain_id -> (Observation.t -> unit) -> unit
 val send : t -> from:Topology.node_id -> Packet.t -> unit
 (** Inject a packet at a node (the node is the packet's origin; no
     middleware runs for the originating host itself). *)
+
+val inject : t -> Topology.node_id -> Packet.t -> unit
+(** Wire-level arrival at a node: transit middleware, TTL and policy
+    apply exactly as for a packet coming off a link — unlike {!send},
+    which treats the node as the packet's origin. The fluid tier's
+    spill boundary drops representative packets into a boundary domain
+    through this, at the router where the aggregate's traffic would
+    enter. *)
+
+val route_path :
+  t -> from:Topology.node_id -> Ipaddr.t -> Topology.node_id list option
+(** The node sequence the current routing tables would carry a packet
+    along, from [from] to (and including) the delivering node; [None]
+    when unroutable. *)
 
 val service :
   ?kind:string -> t -> Topology.node_id -> cost:int64 -> (unit -> unit) -> unit

@@ -1,0 +1,181 @@
+(* Property suite for the AS-scale tier: the Topogen generator and the
+   fluid-aggregate hybrid.
+
+   Topogen's contract is purely structural — connected, seed-
+   deterministic, power-law skewed, shard-balanced — so it is pinned
+   with qcheck over random shapes and seeds. The Aggregate contract is
+   the E14 one: digests bit-identical at every shard count (pool or no
+   pool), and fluid totals matching a per-packet reference on a small
+   topology; the smoke here runs the full three-gate experiment at a
+   size that keeps the default `dune runtest` fast. *)
+
+let prop ?(count = 10) ~name ~print gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen f)
+
+let pool2 = Par.create ~size:2 ()
+let pool4 = Par.create ~size:4 ()
+let () = at_exit (fun () -> Par.shutdown pool2; Par.shutdown pool4)
+
+(* ---- topogen: structural properties ---- *)
+
+let shape_gen =
+  QCheck2.Gen.(
+    let* domains = 24 -- 120 in
+    let* attach = 1 -- 3 in
+    let* box_domains = 1 -- 4 in
+    let+ seed = 0 -- 1_000_000 in
+    (domains, attach, box_domains, seed))
+
+let print_shape (d, a, b, s) =
+  Printf.sprintf "domains=%d attach=%d boxes=%d seed=%d" d a b s
+
+let gen_of (domains, attach, box_domains, seed) =
+  Net.Topogen.generate ~attach ~box_domains ~domains ~seed ()
+
+let test_connected =
+  prop ~count:20 ~name:"generated topology is connected" ~print:print_shape
+    shape_gen
+    (fun shape -> Net.Topogen.connected (gen_of shape))
+
+let test_deterministic =
+  prop ~count:20 ~name:"same seed, same fingerprint" ~print:print_shape
+    shape_gen
+    (fun shape ->
+      Net.Topogen.fingerprint (gen_of shape)
+      = Net.Topogen.fingerprint (gen_of shape))
+
+let test_seed_sensitivity () =
+  (* Different seeds must actually move the graph: 8 seeds, 8 distinct
+     fingerprints (62-bit digests; a collision here means the seed is
+     not reaching the generator). *)
+  let prints =
+    List.init 8 (fun seed ->
+        Net.Topogen.fingerprint
+          (Net.Topogen.generate ~domains:60 ~seed ()))
+  in
+  Alcotest.(check int)
+    "8 seeds give 8 fingerprints" 8
+    (List.length (List.sort_uniq compare prints))
+
+let test_power_law =
+  prop ~count:20 ~name:"degree distribution is hub-skewed"
+    ~print:print_shape shape_gen
+    (fun shape ->
+      let g = gen_of shape in
+      let degs = Array.copy g.Net.Topogen.degrees in
+      Array.sort compare degs;
+      let n = Array.length degs in
+      let max_deg = degs.(n - 1) in
+      let median = degs.(n / 2) in
+      let avg =
+        float_of_int (Array.fold_left ( + ) 0 degs) /. float_of_int n
+      in
+      (* Preferential attachment: every domain is attached (min >= 1),
+         the median sits at or below the mean, and the best-connected
+         hub clearly exceeds the mean — the skew a uniform random graph
+         would not show. *)
+      degs.(0) >= 1
+      && float_of_int median <= avg
+      && float_of_int max_deg >= 2.0 *. avg)
+
+let test_shard_balance =
+  prop ~count:20 ~name:"shard_of balances nodes across shards"
+    ~print:print_shape shape_gen
+    (fun (domains, attach, box_domains, seed) ->
+      let g = Net.Topogen.generate ~attach ~box_domains ~domains ~seed () in
+      let top = g.Net.Topogen.topo in
+      List.for_all
+        (fun shards ->
+          let counts = Array.make shards 0 in
+          List.iter
+            (fun (n : Net.Topology.node) ->
+              let s = Net.Topology.shard_of top ~shards n.nid in
+              counts.(s) <- counts.(s) + 1)
+            (Net.Topology.nodes top);
+          let mn = Array.fold_left min max_int counts
+          and mx = Array.fold_left max 0 counts in
+          (* One gateway router per domain, domains dealt round-robin
+             (domain mod shards), plus at most [box_domains] box nodes
+             that can all land on one shard. *)
+          mn >= 1 && mx - mn <= 1 + box_domains)
+        [ 2; 3; 4; 6 ])
+
+(* ---- aggregate: shard/pool digest invariance on random hybrids ---- *)
+
+let tcp_drop (o : Net.Observation.t) =
+  if o.protocol = 6 then Net.Network.Drop else Net.Network.Forward
+
+let hybrid_digest ~domains ~cohorts ~seed ~shards ~pool =
+  let g = Net.Topogen.generate ~domains ~seed () in
+  let engine =
+    Net.Engine.create
+      ~obs:(Obs.Registry.create ())
+      ~shards ~topo:g.Net.Topogen.topo ()
+  in
+  let net = Net.Network.create engine g.Net.Topogen.topo in
+  for d = 0 to domains - 1 do
+    if d mod 3 = 2 then Net.Network.add_middleware net d tcp_drop
+  done;
+  let agg =
+    Net.Aggregate.create ~dt:50_000_000L ~steps:12 net
+  in
+  for i = 0 to cohorts - 1 do
+    let protocol = if i mod 4 = 3 then Net.Packet.Tcp else Net.Packet.Udp in
+    ignore
+      (Net.Aggregate.add_cohort ~protocol agg
+         ~src:g.Net.Topogen.routers.(i mod domains)
+         ~dst:g.Net.Topogen.anycast ~clients:40 ~rate_bps:128_000 ()
+        : int)
+  done;
+  Net.Aggregate.launch agg;
+  Net.Engine.run ?pool engine;
+  Net.Aggregate.digest agg
+
+let test_hybrid_invariance =
+  let gen =
+    QCheck2.Gen.(
+      let* domains = 8 -- 20 in
+      let* cohorts = 4 -- 24 in
+      let+ seed = 0 -- 1_000_000 in
+      (domains, cohorts, seed))
+  in
+  prop ~count:6
+    ~name:"hybrid digest identical at shards 1/2/4, pool and no pool"
+    ~print:(fun (d, c, s) ->
+      Printf.sprintf "domains=%d cohorts=%d seed=%d" d c s)
+    gen
+    (fun (domains, cohorts, seed) ->
+      let digest ~shards ~pool = hybrid_digest ~domains ~cohorts ~seed ~shards ~pool in
+      let base = digest ~shards:1 ~pool:None in
+      List.for_all
+        (fun (shards, pool) -> digest ~shards ~pool = base)
+        [ (2, None); (2, Some pool2); (4, None); (4, Some pool4) ])
+
+(* ---- the E14 three-gate experiment, smoke sized ---- *)
+
+let test_e14_smoke () =
+  let r =
+    Experiments.E14_scale.run ~domains:12 ~cohorts:24 ~clients_per_cohort:100
+      ~steps:20 ~eq_domains:8 ~eq_clients_per_domain:3 ()
+  in
+  Alcotest.(check bool) "fluid matches the packet reference" true
+    r.Experiments.E14_scale.eq_ok;
+  Alcotest.(check bool) "digests invariant across shard counts" true
+    r.Experiments.E14_scale.inv_ok;
+  Alcotest.(check int) "simulated client population" 2400
+    r.Experiments.E14_scale.clients;
+  Alcotest.(check bool) "all gates" true r.Experiments.E14_scale.ok
+
+let () =
+  Alcotest.run "scale"
+    [ ( "topogen",
+        [ test_connected;
+          test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          test_power_law;
+          test_shard_balance
+        ] );
+      ("aggregate", [ test_hybrid_invariance ]);
+      ( "e14",
+        [ Alcotest.test_case "three-gate smoke" `Quick test_e14_smoke ] )
+    ]

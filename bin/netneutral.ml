@@ -555,6 +555,63 @@ let run_scale quick out =
     close_out oc;
     Printf.printf "scale results written to %s\n" out
 
+(* `netneutral fuzzpolicy`: the E15 differential policy fuzzer — sweep
+   seeded DSL-generated discrimination regimes through the compiled
+   classifier tables (vs the reference interpreter and the legacy
+   Policy embedding) and through paired exposed-vs-neutralized Fig. 1
+   worlds with epoch-consistent mid-window swaps. Any neutralization
+   invariant violation exits 1, with the failing regime and its replay
+   recipe printed. *)
+let run_fuzzpolicy quick seed regimes windows out =
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> (
+        match Sys.getenv_opt "POLICY_SEED" with
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some s -> s
+            | None ->
+              Printf.eprintf "netneutral: bad POLICY_SEED %S\n" s;
+              exit 1)
+        | None -> 2006)
+  in
+  Printf.printf "fuzzpolicy: POLICY_SEED %d\n" seed;
+  let r =
+    if quick then
+      Experiments.E15_regime_sweep.run ~seed
+        ~regimes:(Option.value regimes ~default:150)
+        ~e2e_windows:(Option.value windows ~default:24)
+        ()
+    else
+      Experiments.E15_regime_sweep.run ~seed
+        ?regimes ?e2e_windows:windows ()
+  in
+  Experiments.E15_regime_sweep.print r;
+  if not r.Experiments.E15_regime_sweep.ok then begin
+    List.iter
+      (fun (v : Experiments.E15_regime_sweep.violation) ->
+        Printf.eprintf "fuzzpolicy: regime %d [%s]: %s\n" v.v_regime v.v_kind
+          v.v_detail)
+      r.Experiments.E15_regime_sweep.violations;
+    Printf.eprintf
+      "netneutral: fuzzpolicy found %d violation(s); replay with \
+       POLICY_SEED=%d netneutral fuzzpolicy%s\n"
+      (List.length r.Experiments.E15_regime_sweep.violations)
+      seed
+      (if quick then " --quick" else "");
+    exit 1
+  end;
+  match open_out out with
+  | exception Sys_error msg ->
+    Printf.eprintf "netneutral: cannot write fuzz results: %s\n" msg;
+    exit 1
+  | oc ->
+    output_string oc (Experiments.E15_regime_sweep.to_json r);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "fuzz results written to %s\n" out
+
 (* `netneutral vectors`: regenerate or verify the golden wire vectors.
    Verification is a byte compare against Core.Vectors.render — any
    drift (a frame whose encoding moved) exits 1, which is how CI and
@@ -785,6 +842,42 @@ let () =
             capacity, admission control + retry budgets ON vs OFF")
       Term.(const run_overload $ quick_flag $ seed_opt $ chaos_flag)
   in
+  let fuzzpolicy_cmd =
+    let seed_opt =
+      let doc =
+        "Policy-fuzzer seed. Identical seeds reproduce every generated \
+         regime, observation and window exactly; defaults to \
+         $(b,POLICY_SEED), then 2006."
+      in
+      Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+    in
+    let regimes_opt =
+      let doc = "Number of generated regimes in the semantic tier." in
+      Arg.(value & opt (some int) None & info [ "regimes" ] ~docv:"N" ~doc)
+    in
+    let windows_opt =
+      let doc = "Number of end-to-end policy windows on the paired worlds." in
+      Arg.(value & opt (some int) None & info [ "windows" ] ~docv:"N" ~doc)
+    in
+    let out_opt =
+      let doc = "Write the JSON results to $(docv)." in
+      Arg.(
+        value & opt string "BENCH_dsl.json" & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "fuzzpolicy"
+         ~doc:
+           "E15 differential policy fuzzer: sweep seeded DSL-generated \
+            discrimination regimes through compiled classifier tables \
+            (vs the reference interpreter and the legacy Policy \
+            embedding, byte for byte) and through paired \
+            exposed-vs-neutralized Fig. 1 worlds with epoch-consistent \
+            mid-window policy swaps; any neutralization-invariant \
+            violation exits 1 with the failing seed printed")
+      Term.(
+        const run_fuzzpolicy $ quick_flag $ seed_opt $ regimes_opt
+        $ windows_opt $ out_opt)
+  in
   let vectors_cmd =
     let write_flag =
       let doc = "Regenerate the vector file instead of verifying it." in
@@ -829,4 +922,4 @@ let () =
        (Cmd.group ~default info
           (demo_cmd :: topology_cmd :: trace_cmd :: fig2_cmd :: stats_cmd
            :: chaos_cmd :: overload_cmd :: bench_cmd :: par_cmd :: pdes_cmd
-           :: scale_cmd :: vectors_cmd :: exp_cmds)))
+           :: scale_cmd :: fuzzpolicy_cmd :: vectors_cmd :: exp_cmds)))

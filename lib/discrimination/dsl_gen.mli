@@ -1,0 +1,46 @@
+(** Seeded generators over the {!Dsl} policy grammar, the observation
+    space, and the legacy rule subset — the shared substrate of the
+    differential policy fuzzer.
+
+    Deterministic by construction: every generator draws from a
+    {!Fault.Prng.t} stream, so [POLICY_SEED] (plus a regime index) fully
+    reproduces any policy, observation batch, or legacy rule list —
+    whether drawn from the qcheck suites in [test/test_dsl.ml] or from
+    [netneutral fuzzpolicy] (experiment E15), which is why this lives in
+    the library and not the test tree.
+
+    Generated numeric thresholds sit on coarse grids deliberately: an
+    entropy cut inside the band where random ciphertext payloads
+    actually land would flip verdicts on per-payload binomial noise and
+    make paired-world comparisons meaningless. *)
+
+val gen_pred : ?stateless:bool -> Fault.Prng.t -> depth:int -> Dsl.pred
+(** [stateless] (default false) excludes {!Dsl.Rate_above}. *)
+
+val gen_act : ?stateless:bool -> Fault.Prng.t -> Dsl.act
+(** [stateless] excludes {!Dsl.Throttle}. *)
+
+val gen_policy :
+  ?max_depth:int ->
+  ?stateless:bool ->
+  ?domains:Net.Topology.domain_id array ->
+  Fault.Prng.t ->
+  Dsl.policy
+(** Whole-grammar policy generator; [max_depth] defaults to 4 ([Seq]
+    operands are kept shallow so compiled tables stay small), [domains]
+    (default [[|0|]]) is the pool {!Dsl.In_domain} draws from. *)
+
+val gen_throttle_spec : Fault.Prng.t -> Dsl.throttle_spec
+val gen_rate_spec : Fault.Prng.t -> Dsl.rate_spec
+
+val gen_obs : Fault.Prng.t -> at:int64 -> Net.Observation.t
+(** A wire view drawn from the Figure-1 address plan (including the
+    anycast neutralizer address), the well-known port pool, and payload
+    variants spanning empty, plaintext with DPI markers (SIP/HTTP),
+    high-entropy bytes, and shim frames of key-setup and data kinds. *)
+
+val gen_matcher : Fault.Prng.t -> depth:int -> Policy.matcher
+
+val gen_legacy_rules : Net.Engine.t -> Fault.Prng.t -> Policy.rule list
+(** 1-5 legacy rules; throttle behaviours get fresh shapers on the given
+    engine, whose parameters {!Dsl.of_legacy} can clone exactly. *)

@@ -69,3 +69,6 @@ let middleware t matches (o : Net.Observation.t) =
 let passed t = t.n_passed
 let delayed t = t.n_delayed
 let dropped t = t.n_dropped
+let rate_bps t = t.rate_bps
+let burst_bytes t = t.burst_bytes
+let max_delay t = t.max_delay

@@ -29,3 +29,10 @@ val middleware :
 val passed : t -> int
 val delayed : t -> int
 val dropped : t -> int
+
+(** Configured parameters, readable so {!Dsl.of_legacy} can clone a
+    legacy shaper's behaviour into a [throttle_spec]. *)
+
+val rate_bps : t -> int
+val burst_bytes : t -> int
+val max_delay : t -> int64

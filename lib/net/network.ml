@@ -74,6 +74,10 @@ let add_middleware t did m =
 
 let clear_middlewares t did = Hashtbl.remove t.middlewares did
 
+let set_middlewares t did = function
+  | [] -> Hashtbl.remove t.middlewares did
+  | ms -> Hashtbl.replace t.middlewares did ms
+
 let policed t did =
   match Hashtbl.find_opt t.middlewares did with
   | None | Some [] -> false

@@ -52,6 +52,44 @@ let test_entropy () =
   Alcotest.(check bool) "text is low" true
     (Classifier.payload_entropy "the quick brown fox jumps over the lazy dog" < 5.0)
 
+let test_entropy_edges () =
+  (* Degenerate payloads the fuzzer generates on purpose: the estimator
+     must return exactly 0.0 (a single symbol carries no information),
+     never NaN from a 0*log(0) term or an empty histogram. *)
+  List.iter
+    (fun (name, payload) ->
+      let e = Classifier.payload_entropy payload in
+      Alcotest.(check bool) (name ^ " finite") false (Float.is_nan e);
+      Alcotest.(check (float 0.0)) name 0.0 e)
+    [ ("empty", "");
+      ("one byte", "x");
+      ("one NUL", "\000");
+      ("identical bytes", String.make 1400 '\255')
+    ];
+  (* two symbols at 50/50: exactly one bit per byte *)
+  Alcotest.(check (float 1e-9)) "two-symbol payload" 1.0
+    (Classifier.payload_entropy "ababababab")
+
+let test_key_setup_edges () =
+  let ks kind = String.make 1 kind ^ String.make 19 'r' in
+  (* the two key-setup shim kinds, and only those, on protocol 253 *)
+  Alcotest.(check bool) "kind 0 request" true
+    (Classifier.is_key_setup (obs ~protocol:Net.Packet.Shim ~shim:(ks '\000') ()));
+  Alcotest.(check bool) "kind 1 response" true
+    (Classifier.is_key_setup (obs ~protocol:Net.Packet.Shim ~shim:(ks '\001') ()));
+  Alcotest.(check bool) "kind 2 data is not key setup" false
+    (Classifier.is_key_setup (obs ~protocol:Net.Packet.Shim ~shim:(ks '\002') ()));
+  (* degenerate shims must not crash the kind probe *)
+  Alcotest.(check bool) "empty shim" false
+    (Classifier.is_key_setup (obs ~protocol:Net.Packet.Shim ~shim:"" ()));
+  Alcotest.(check bool) "one-byte shim is enough" true
+    (Classifier.is_key_setup (obs ~protocol:Net.Packet.Shim ~shim:"\000" ()));
+  Alcotest.(check bool) "no shim at all" false
+    (Classifier.is_key_setup (obs ~protocol:Net.Packet.Shim ()));
+  (* a key-setup-looking shim on the wrong protocol is not key setup *)
+  Alcotest.(check bool) "kind 0 on UDP" false
+    (Classifier.is_key_setup (obs ~protocol:Net.Packet.Udp ~shim:(ks '\000') ()))
+
 let test_looks_encrypted () =
   let random = Crypto.Drbg.generate (Crypto.Drbg.create ~seed:"e2") 64 in
   Alcotest.(check bool) "random payload" true (Classifier.looks_encrypted (obs ~payload:random ()));
@@ -184,6 +222,8 @@ let () =
           Alcotest.test_case "dpi" `Quick test_classify_dpi;
           Alcotest.test_case "shim kinds" `Quick test_classify_shim;
           Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "entropy edges" `Quick test_entropy_edges;
+          Alcotest.test_case "key-setup edges" `Quick test_key_setup_edges;
           Alcotest.test_case "looks encrypted" `Quick test_looks_encrypted
         ] );
       ( "policy",

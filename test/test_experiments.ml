@@ -146,6 +146,25 @@ let test_golden_digests () =
   check_golden "E12 chaos table (seed 7)"
     "b54c8bffe59ae4c2f55167bed941b0a1817682206de166e38cad71dc729a19a7" e12
 
+(* E15: the differential policy fuzzer at smoke size. The digest folds
+   every semantic-tier verdict string and every per-window goodput /
+   epoch / collapse integer, so any drift in the DSL compiler, the
+   generators, the consistent-update scheme or the paired worlds moves
+   it. Invariant counters must also be identically zero — a digest
+   match with violations would mean the pinning itself broke. *)
+let test_e15_fuzz_smoke () =
+  let r = Experiments.E15_regime_sweep.run ~seed:2006 ~regimes:40 ~e2e_windows:8 () in
+  Alcotest.(check bool) "all invariants hold" true r.Experiments.E15_regime_sweep.ok;
+  Alcotest.(check int) "no compiler/interpreter mismatches" 0
+    r.Experiments.E15_regime_sweep.compiled_mismatches;
+  Alcotest.(check int) "no legacy-embedding mismatches" 0
+    r.Experiments.E15_regime_sweep.legacy_mismatches;
+  Alcotest.(check int) "no mixed-epoch verdicts" 0
+    r.Experiments.E15_regime_sweep.mixed_epochs;
+  Alcotest.(check string) "E15 sweep digest (seed 2006)"
+    "0bfd7ace6fcd3b9bf5a61c90aa48b041655cf749f97e42125cf975e0d3f54b3e"
+    r.Experiments.E15_regime_sweep.digest
+
 let () =
   Alcotest.run "experiments"
     [ ( "shapes",
@@ -161,6 +180,8 @@ let () =
         ] );
       ( "goldens",
         [ Alcotest.test_case "E1/E2/E12 golden digests" `Quick
-            test_golden_digests
+            test_golden_digests;
+          Alcotest.test_case "E15 fuzz digest (seed 2006)" `Quick
+            test_e15_fuzz_smoke
         ] )
     ]
